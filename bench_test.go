@@ -1,0 +1,108 @@
+package heteroswitch
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// design-choice ablations and substrate micro-benchmarks. Each experiment
+// benchmark runs its full harness at a reduced scale per iteration, so
+// b.N=1 (the default for these run times) measures one end-to-end
+// regeneration of the artifact; raise -scale via EXPBENCH_SCALE-style runs
+// with cmd/heterobench for the recorded EXPERIMENTS.md numbers.
+
+import (
+	"testing"
+
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/device"
+	"heteroswitch/internal/experiments"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/isp"
+	"heteroswitch/internal/scene"
+)
+
+// benchOpts is the per-iteration scale used by the experiment benchmarks:
+// large enough to exercise every code path, small enough for go test -bench.
+func benchOpts() experiments.Options {
+	opts := experiments.DefaultOptions()
+	opts.Scale = 0.1
+	opts.Seed = 42
+	return opts
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(name, benchOpts()); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// Paper artifacts -------------------------------------------------------------
+
+func BenchmarkFig1Homogeneity(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkTable2CrossDevice(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkFig2RAW(b *testing.B)           { runExperiment(b, "fig2") }
+func BenchmarkFig3ISPStages(b *testing.B)     { runExperiment(b, "fig3") }
+func BenchmarkFig4Fairness(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFig5LODO(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkFig7SWAD(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkTable4Main(b *testing.B)        { runExperiment(b, "table4") }
+func BenchmarkTable5Models(b *testing.B)      { runExperiment(b, "table5") }
+func BenchmarkTable6Flair(b *testing.B)       { runExperiment(b, "table6") }
+func BenchmarkFig8Synthetic(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkECGHeartRate(b *testing.B)      { runExperiment(b, "ecg") }
+func BenchmarkFig9Sensitivity(b *testing.B)   { runExperiment(b, "fig9") }
+
+// Design-choice ablations ------------------------------------------------------
+
+func BenchmarkAblationSwitches(b *testing.B) { runExperiment(b, "ablation-switch") }
+func BenchmarkAblationEMAAlpha(b *testing.B) { runExperiment(b, "ablation-alpha") }
+func BenchmarkAblationDegrees(b *testing.B)  { runExperiment(b, "ablation-degrees") }
+
+// BenchmarkUnseenDeviceDG evaluates trained models on device profiles that
+// never appeared in training — true out-of-distribution devices.
+func BenchmarkUnseenDeviceDG(b *testing.B) { runExperiment(b, "unseen-dg") }
+
+// Substrate micro-benchmarks ---------------------------------------------------
+
+// BenchmarkDeviceCapture measures one full sensor+ISP capture of a 64x64
+// scene on the S9 profile — the per-image cost of workload generation.
+func BenchmarkDeviceCapture(b *testing.B) {
+	gen := scene.NewImageNet12(64)
+	sc := gen.Render(4, frand.New(1))
+	p, err := device.ByName("S9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := frand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CaptureProcessed(sc, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkISPPipeline measures the six-stage baseline pipeline alone.
+func BenchmarkISPPipeline(b *testing.B) {
+	gen := scene.NewImageNet12(64)
+	sc := gen.Render(4, frand.New(1))
+	raw := isp.Mosaic(sc, isp.RGGB)
+	pipe := isp.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Process(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadBuild measures building the full nine-device federation
+// at one scene per class.
+func BenchmarkWorkloadBuild(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BuildDeviceData(opts, 1, 1, dataset.ModeProcessed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command heterobench regenerates the paper's tables and figures from the
+// simulated device federation.
+//
+// Usage:
+//
+//	heterobench -list
+//	heterobench -exp table4 [-scale 1.0] [-seed 42] [-workers 8]
+//	heterobench -exp all -scale 0.3
+//
+// Experiment ids follow DESIGN.md's per-experiment index (fig1, table2,
+// fig2, fig3, fig4, fig5, fig7, table4, table5, table6, fig8, ecg, fig9,
+// ablation-*). Scale 1.0 is the configuration recorded in EXPERIMENTS.md;
+// smaller scales run faster and preserve trends.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heteroswitch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		seed    = flag.Uint64("seed", 42, "master random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = auto)")
+		list    = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "heterobench: -exp required (or -list); e.g. -exp table4")
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.Seed = *seed
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		res, err := experiments.Run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heterobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s (scale %.2f, seed %d, %.1fs)\n\n%s\n", name, *scale, *seed, time.Since(start).Seconds(), res)
+	}
+}

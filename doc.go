@@ -1,0 +1,15 @@
+// Package heteroswitch is a from-scratch Go reproduction of "HeteroSwitch:
+// Characterizing and Taming System-Induced Data Heterogeneity in Federated
+// Learning" (Kim et al., MLSys 2024).
+//
+// The implementation lives under internal/: a neural-network training stack
+// (internal/nn, internal/tensor), a camera + ISP simulation that generates
+// system-induced data heterogeneity (internal/camera, internal/isp,
+// internal/device, internal/scene), the federated-learning engine and
+// baselines (internal/fl), the HeteroSwitch algorithm (internal/core), and
+// one harness per paper table/figure (internal/experiments). Entry points:
+// cmd/heterobench, cmd/flsim, cmd/ispdemo, and the runnable examples/.
+//
+// The root package exists to carry the repository-level benchmarks in
+// bench_test.go, one per table and figure of the paper's evaluation.
+package heteroswitch

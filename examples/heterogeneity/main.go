@@ -1,0 +1,88 @@
+// Heterogeneity walks through the characterization pipeline at image level:
+// the same latent scene photographed by different devices, as RAW vs
+// processed, and with individual ISP stages switched off — quantifying each
+// effect by pixel distance, the precursor of the paper's §3 analysis.
+//
+//	go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteroswitch/internal/device"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/isp"
+	"heteroswitch/internal/scene"
+)
+
+func main() {
+	gen := scene.NewImageNet12(64)
+	sc := gen.Render(4, frand.New(3)) // ambulance: strong red/white signature
+
+	fmt.Println("1. Same scene, different devices (pixel MSE to Pixel5's capture):")
+	profiles := device.Profiles()
+	var ref *isp.Image
+	for i, p := range profiles {
+		im, err := p.CaptureProcessed(sc, frand.New(uint64(i)+10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		im = im.Resize(32, 32)
+		if p.Name == "Pixel5" {
+			ref = im
+		}
+	}
+	for i, p := range profiles {
+		im, err := p.CaptureProcessed(sc, frand.New(uint64(i)+10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-8s MSE %.5f\n", p.Name, ref.MSE(im.Resize(32, 32)))
+	}
+
+	fmt.Println("\n2. RAW vs processed heterogeneity (Pixel5 vs S6):")
+	p5, _ := device.ByName("Pixel5")
+	s6, _ := device.ByName("S6")
+	raw5, err := p5.CaptureRAW(sc, frand.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw6, err := s6.CaptureRAW(sc, frand.New(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc5, err := p5.CaptureProcessed(sc, frand.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc6, err := s6.CaptureProcessed(sc, frand.New(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m5, m6 := raw5.ChannelMeans(), raw6.ChannelMeans()
+	fmt.Printf("   RAW channel means  Pixel5 %.3f/%.3f/%.3f  S6 %.3f/%.3f/%.3f (uncorrected casts)\n",
+		m5[0], m5[1], m5[2], m6[0], m6[1], m6[2])
+	m5, m6 = proc5.ChannelMeans(), proc6.ChannelMeans()
+	fmt.Printf("   processed means    Pixel5 %.3f/%.3f/%.3f  S6 %.3f/%.3f/%.3f (WB normalized)\n",
+		m5[0], m5[1], m5[2], m6[0], m6[1], m6[2])
+
+	fmt.Println("\n3. ISP stage contributions (S9 sensor, baseline vs stage omitted):")
+	s9, _ := device.ByName("S9")
+	base, err := s9.CaptureWithPipeline(sc, isp.Baseline(), frand.New(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for stage := isp.StageDemosaic; stage < isp.NumStages; stage++ {
+		pipe, err := isp.Baseline().Option(stage, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := s9.CaptureWithPipeline(sc, pipe, frand.New(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-14s option1 MSE %.5f\n", stage, base.MSE(im))
+	}
+	fmt.Println("\nWhite balance and tone dominate — the paper's §3.4 finding.")
+}

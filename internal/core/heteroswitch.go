@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"heteroswitch/internal/fl"
+	"heteroswitch/internal/nn"
+)
+
+// Mode selects how much of Algorithm 1 is active, matching the ablation rows
+// of Table 4.
+type Mode int
+
+// Operating modes.
+const (
+	// ModeFull is HeteroSwitch proper: bias-gated transformation (Switch 1)
+	// and loss-gated SWAD adoption (Switch 2).
+	ModeFull Mode = iota
+	// ModeTransformOnly always applies the ISP transformation and never uses
+	// SWAD (Table 4's "ISP Transformation" row).
+	ModeTransformOnly
+	// ModeTransformSWAD always applies the transformation AND always returns
+	// the SWAD average (Table 4's "+ SWAD" row) — the one-size-fits-all
+	// variant HeteroSwitch improves upon.
+	ModeTransformSWAD
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeTransformOnly:
+		return "ISP-Transformation"
+	case ModeTransformSWAD:
+		return "ISP+SWAD"
+	default:
+		return "HeteroSwitch"
+	}
+}
+
+// HeteroSwitch is the paper's selective generalization strategy. It
+// implements fl.Strategy; the server side is FedAvg aggregation plus the
+// L_EMA tracking of eq. 1.
+type HeteroSwitch struct {
+	// Mode selects full switching or an always-on ablation.
+	Mode Mode
+	// Alpha is the EMA smoothing factor of eq. 1 (paper: 0.9).
+	Alpha float64
+	// Transform perturbs one sample tensor; defaults to RandomWBGamma with
+	// the appendix's tuned degrees (WB 0.001, gamma 0.9).
+	Transform TransformFunc
+
+	mu      sync.Mutex
+	lema    float64
+	hasLEMA bool
+}
+
+// New returns HeteroSwitch in full switching mode with the paper's tuned
+// hyperparameters.
+func New() *HeteroSwitch {
+	return &HeteroSwitch{
+		Mode:      ModeFull,
+		Alpha:     0.9,
+		Transform: RandomWBGamma(0.001, 0.9),
+	}
+}
+
+// NewWithMode returns the requested ablation variant with default
+// hyperparameters.
+func NewWithMode(m Mode) *HeteroSwitch {
+	h := New()
+	h.Mode = m
+	return h
+}
+
+// Name implements fl.Strategy.
+func (h *HeteroSwitch) Name() string { return h.Mode.String() }
+
+// LEMA returns the current EMA of the aggregated train loss and whether it
+// has been initialized (it is undefined until the first aggregation).
+func (h *HeteroSwitch) LEMA() (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lema, h.hasLEMA
+}
+
+// LocalUpdate implements Algorithm 1 (ClientUpdate).
+func (h *HeteroSwitch) LocalUpdate(ctx *fl.ClientContext) fl.ClientResult {
+	lema, hasLEMA := h.LEMA()
+
+	// Line 2: L_init = L(D, W).
+	initLoss := fl.EvalLoss(ctx.Net, ctx.Loss, ctx.Client.Data, ctx.Cfg.BatchSize)
+
+	// Lines 3-5: Switch 1 — the global model already fits this data better
+	// than the population average, so the data is likely (system-)biased.
+	var switch1 bool
+	switch h.Mode {
+	case ModeTransformOnly, ModeTransformSWAD:
+		switch1 = true
+	default:
+		switch1 = hasLEMA && initLoss < lema
+	}
+
+	// Lines 6-8: random ISP transformation on the client's data.
+	data := ctx.Client.Data
+	if switch1 {
+		tf := h.Transform
+		if tf == nil {
+			tf = RandomWBGamma(0.001, 0.9)
+		}
+		data = TransformDataset(data, tf, ctx.RNG)
+	}
+
+	// Lines 9-21: local SGD; when Switch 1 is on, maintain the per-batch
+	// weight average W_SWA (SWAD — denser than SWA's per-epoch averaging).
+	useSWAD := switch1 && h.Mode != ModeTransformOnly
+	var swa nn.Weights
+	var batchHook fl.BatchHook
+	if useSWAD {
+		swa = ctx.Net.Snapshot() // line 10: initialize W_SWA as a copy of W
+		batchHook = func(net *nn.Network, batchIdx int) {
+			// Line 17: W_SWA ← (W_SWA·Idx_b + W) / (Idx_b + 1)
+			w := net.Snapshot()
+			swa.Lerp(float32(1.0/float64(batchIdx+1)), w)
+		}
+	}
+	trainLoss := fl.TrainLocal(ctx.Net, data, ctx.Cfg, ctx.Loss, ctx.RNG, nil, batchHook)
+
+	// Lines 22-29: Switch 2 — adopt the averaged weights only if training
+	// still tracks below the population EMA.
+	var switch2 bool
+	switch h.Mode {
+	case ModeTransformSWAD:
+		switch2 = true
+	case ModeTransformOnly:
+		switch2 = false
+	default:
+		switch2 = switch1 && hasLEMA && trainLoss < lema
+	}
+
+	var weights nn.Weights
+	if switch2 && useSWAD {
+		weights = swa
+	} else {
+		weights = ctx.Net.Snapshot()
+	}
+	return fl.ClientResult{
+		ClientID: ctx.Client.ID, DeviceIdx: ctx.Client.Device,
+		NumSamples: ctx.Client.Data.Len(),
+		Weights:    weights,
+		TrainLoss:  trainLoss, InitLoss: initLoss,
+	}
+}
+
+// Aggregate implements fl.Strategy: FedAvg aggregation plus the eq. 1 EMA
+// update over the round's sample-weighted mean train loss.
+func (h *HeteroSwitch) Aggregate(global nn.Weights, results []fl.ClientResult, cfg fl.Config) nn.Weights {
+	if len(results) == 0 {
+		return global
+	}
+	out := fl.FedAvg{}.Aggregate(global, results, cfg)
+
+	var lcur, total float64
+	for _, r := range results {
+		lcur += r.TrainLoss * float64(r.NumSamples)
+		total += float64(r.NumSamples)
+	}
+	lcur /= total
+	if math.IsNaN(lcur) || math.IsInf(lcur, 0) {
+		return out
+	}
+	h.mu.Lock()
+	if h.hasLEMA {
+		h.lema = h.Alpha*lcur + (1-h.Alpha)*h.lema // eq. 1
+	} else {
+		h.lema = lcur
+		h.hasLEMA = true
+	}
+	h.mu.Unlock()
+	return out
+}
+
+// interface conformance check
+var _ fl.Strategy = (*HeteroSwitch)(nil)

@@ -1,0 +1,214 @@
+// Package dataset turns captured images into training/evaluation data and
+// provides the federation plumbing: per-device capture of a shared scene
+// set, shuffling, splitting, batching, and per-client partitioning.
+package dataset
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/device"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/isp"
+	"heteroswitch/internal/scene"
+	"heteroswitch/internal/tensor"
+)
+
+// Sample is one training/evaluation example.
+type Sample struct {
+	X      *tensor.Tensor // [C, H, W]
+	Label  int            // single-label class; -1 when Multi is used
+	Multi  []float32      // multi-label indicator vector (nil if single-label)
+	Device int            // index of the capturing device profile
+}
+
+// Dataset is an ordered collection of samples.
+type Dataset struct {
+	Samples    []Sample
+	NumClasses int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Shuffle permutes the samples in place.
+func (d *Dataset) Shuffle(rng *frand.RNG) {
+	rng.Shuffle(len(d.Samples), func(i, j int) {
+		d.Samples[i], d.Samples[j] = d.Samples[j], d.Samples[i]
+	})
+}
+
+// Split divides the dataset into a training set with the given fraction and
+// a test set with the remainder (no shuffling; shuffle first if needed).
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
+	n := int(float64(len(d.Samples)) * trainFrac)
+	if n < 0 {
+		n = 0
+	}
+	if n > len(d.Samples) {
+		n = len(d.Samples)
+	}
+	return &Dataset{Samples: d.Samples[:n], NumClasses: d.NumClasses},
+		&Dataset{Samples: d.Samples[n:], NumClasses: d.NumClasses}
+}
+
+// Subset returns a view of the given sample indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := make([]Sample, len(idx))
+	for i, j := range idx {
+		s[i] = d.Samples[j]
+	}
+	return &Dataset{Samples: s, NumClasses: d.NumClasses}
+}
+
+// Concat appends other datasets (class counts must agree).
+func Concat(ds ...*Dataset) *Dataset {
+	out := &Dataset{}
+	for _, d := range ds {
+		if d == nil || len(d.Samples) == 0 {
+			continue
+		}
+		if out.NumClasses == 0 {
+			out.NumClasses = d.NumClasses
+		}
+		out.Samples = append(out.Samples, d.Samples...)
+	}
+	return out
+}
+
+// StratifiedSplit splits per class so train and test both contain every
+// class in proportion. Samples of each class keep their original order.
+func (d *Dataset) StratifiedSplit(trainFrac float64) (train, test *Dataset) {
+	byClass := map[int][]int{}
+	for i, s := range d.Samples {
+		byClass[s.Label] = append(byClass[s.Label], i)
+	}
+	var trIdx, teIdx []int
+	for c := 0; c < d.NumClasses; c++ {
+		idx := byClass[c]
+		n := int(float64(len(idx)) * trainFrac)
+		trIdx = append(trIdx, idx[:n]...)
+		teIdx = append(teIdx, idx[n:]...)
+	}
+	return d.Subset(trIdx), d.Subset(teIdx)
+}
+
+// Batch materializes samples [lo, hi) as a stacked input tensor and labels.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	n := hi - lo
+	first := d.Samples[lo].X
+	shape := append([]int{n}, first.Shape()...)
+	x := tensor.New(shape...)
+	labels := make([]int, n)
+	per := first.Size()
+	for i := 0; i < n; i++ {
+		s := d.Samples[lo+i]
+		copy(x.Data()[i*per:(i+1)*per], s.X.Data())
+		labels[i] = s.Label
+	}
+	return x, labels
+}
+
+// BatchMulti materializes samples [lo, hi) with their multi-label targets.
+func (d *Dataset) BatchMulti(lo, hi int) (*tensor.Tensor, *tensor.Tensor) {
+	n := hi - lo
+	first := d.Samples[lo].X
+	shape := append([]int{n}, first.Shape()...)
+	x := tensor.New(shape...)
+	y := tensor.New(n, d.NumClasses)
+	per := first.Size()
+	for i := 0; i < n; i++ {
+		s := d.Samples[lo+i]
+		copy(x.Data()[i*per:(i+1)*per], s.X.Data())
+		copy(y.Data()[i*d.NumClasses:(i+1)*d.NumClasses], s.Multi)
+	}
+	return x, y
+}
+
+// CaptureMode selects how captured frames are developed.
+type CaptureMode int
+
+// Capture modes.
+const (
+	// ModeProcessed develops frames with the device's own ISP and vendor
+	// tuning — normal operation.
+	ModeProcessed CaptureMode = iota
+	// ModeRAW develops frames with minimal bilinear demosaic only — the
+	// §3.3 RAW-data condition.
+	ModeRAW
+)
+
+// Capture photographs every scene with the given device and returns a
+// dataset of outRes×outRes tensors labelled with the scene class and the
+// provided device index.
+func Capture(scenes []scene.Scene, dev *device.Profile, devIndex int,
+	mode CaptureMode, outRes, numClasses int, rng *frand.RNG) (*Dataset, error) {
+	ds := &Dataset{NumClasses: numClasses, Samples: make([]Sample, 0, len(scenes))}
+	for _, sc := range scenes {
+		var im *isp.Image
+		var err error
+		switch mode {
+		case ModeRAW:
+			im, err = dev.CaptureRAW(sc.Image, rng)
+		default:
+			im, err = dev.CaptureProcessed(sc.Image, rng)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: capture class %d: %w", sc.Class, err)
+		}
+		ds.Samples = append(ds.Samples, Sample{
+			X:      im.Resize(outRes, outRes).ToTensor(),
+			Label:  sc.Class,
+			Device: devIndex,
+		})
+	}
+	return ds, nil
+}
+
+// CaptureWithPipeline photographs every scene with the device's sensor but a
+// caller-supplied ISP pipeline (no vendor tuning) — the ISP-stage ablation
+// path (§3.4).
+func CaptureWithPipeline(scenes []scene.Scene, dev *device.Profile, devIndex int,
+	pipe isp.Pipeline, outRes, numClasses int, rng *frand.RNG) (*Dataset, error) {
+	ds := &Dataset{NumClasses: numClasses, Samples: make([]Sample, 0, len(scenes))}
+	for _, sc := range scenes {
+		im, err := dev.CaptureWithPipeline(sc.Image, pipe, rng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: capture class %d: %w", sc.Class, err)
+		}
+		ds.Samples = append(ds.Samples, Sample{
+			X:      im.Resize(outRes, outRes).ToTensor(),
+			Label:  sc.Class,
+			Device: devIndex,
+		})
+	}
+	return ds, nil
+}
+
+// PartitionIID deals the dataset round-robin into n client shards after a
+// shuffle, giving each client an approximately IID subset.
+func (d *Dataset) PartitionIID(n int, rng *frand.RNG) []*Dataset {
+	idx := rng.Perm(len(d.Samples))
+	shards := make([]*Dataset, n)
+	for i := range shards {
+		shards[i] = &Dataset{NumClasses: d.NumClasses}
+	}
+	for i, j := range idx {
+		s := shards[i%n]
+		s.Samples = append(s.Samples, d.Samples[j])
+	}
+	return shards
+}
+
+// ByDevice groups samples by their capturing device index.
+func (d *Dataset) ByDevice() map[int]*Dataset {
+	out := map[int]*Dataset{}
+	for _, s := range d.Samples {
+		g, ok := out[s.Device]
+		if !ok {
+			g = &Dataset{NumClasses: d.NumClasses}
+			out[s.Device] = g
+		}
+		g.Samples = append(g.Samples, s)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"testing"
+
+	"heteroswitch/internal/device"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/isp"
+	"heteroswitch/internal/scene"
+	"heteroswitch/internal/tensor"
+)
+
+func synthDataset(n, classes int) *Dataset {
+	d := &Dataset{NumClasses: classes}
+	for i := 0; i < n; i++ {
+		x := tensor.New(3, 4, 4)
+		x.Fill(float32(i))
+		d.Samples = append(d.Samples, Sample{X: x, Label: i % classes, Device: i % 3})
+	}
+	return d
+}
+
+func TestSplit(t *testing.T) {
+	d := synthDataset(10, 2)
+	tr, te := d.Split(0.7)
+	if tr.Len() != 7 || te.Len() != 3 {
+		t.Fatalf("split %d/%d", tr.Len(), te.Len())
+	}
+	if tr.NumClasses != 2 || te.NumClasses != 2 {
+		t.Fatal("split lost class count")
+	}
+}
+
+func TestStratifiedSplitKeepsAllClasses(t *testing.T) {
+	d := synthDataset(40, 4)
+	tr, te := d.StratifiedSplit(0.5)
+	for _, ds := range []*Dataset{tr, te} {
+		seen := map[int]bool{}
+		for _, s := range ds.Samples {
+			seen[s.Label] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("stratified split lost classes: %v", seen)
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	d := synthDataset(20, 5)
+	sum := 0
+	for _, s := range d.Samples {
+		sum += s.Label
+	}
+	d.Shuffle(frand.New(3))
+	sum2 := 0
+	for _, s := range d.Samples {
+		sum2 += s.Label
+	}
+	if sum != sum2 {
+		t.Fatal("shuffle changed contents")
+	}
+}
+
+func TestBatchStacksCorrectly(t *testing.T) {
+	d := synthDataset(6, 3)
+	x, labels := d.Batch(2, 5)
+	if x.Dim(0) != 3 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if labels[0] != 2 || labels[1] != 0 || labels[2] != 1 {
+		t.Fatalf("labels %v", labels)
+	}
+	// First element of second sample in batch should be fill value 3.
+	if x.At(1, 0, 0, 0) != 3 {
+		t.Fatalf("batch data wrong: %v", x.At(1, 0, 0, 0))
+	}
+}
+
+func TestBatchMulti(t *testing.T) {
+	d := &Dataset{NumClasses: 3}
+	for i := 0; i < 4; i++ {
+		x := tensor.New(1, 2, 2)
+		m := make([]float32, 3)
+		m[i%3] = 1
+		d.Samples = append(d.Samples, Sample{X: x, Label: -1, Multi: m})
+	}
+	x, y := d.BatchMulti(1, 3)
+	if x.Dim(0) != 2 || y.Dim(0) != 2 || y.Dim(1) != 3 {
+		t.Fatalf("shapes %v %v", x.Shape(), y.Shape())
+	}
+	if y.At(0, 1) != 1 || y.At(1, 2) != 1 {
+		t.Fatalf("multi labels wrong: %v", y.Data())
+	}
+}
+
+func TestPartitionIIDCoversAll(t *testing.T) {
+	d := synthDataset(23, 4)
+	shards := d.PartitionIID(5, frand.New(9))
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() < 4 || s.Len() > 5 {
+			t.Fatalf("unbalanced shard size %d", s.Len())
+		}
+	}
+	if total != 23 {
+		t.Fatalf("partition lost samples: %d", total)
+	}
+}
+
+func TestByDevice(t *testing.T) {
+	d := synthDataset(9, 2)
+	groups := d.ByDevice()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for dev, g := range groups {
+		for _, s := range g.Samples {
+			if s.Device != dev {
+				t.Fatal("sample in wrong device group")
+			}
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := synthDataset(3, 2)
+	b := synthDataset(4, 2)
+	c := Concat(a, nil, b)
+	if c.Len() != 7 || c.NumClasses != 2 {
+		t.Fatalf("concat %d classes %d", c.Len(), c.NumClasses)
+	}
+}
+
+func TestCaptureProducesLabeledTensors(t *testing.T) {
+	gen := scene.NewImageNet12(64)
+	scenes := gen.RenderSet(1, frand.New(21)) // 12 scenes
+	dev, err := device.ByName("S9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Capture(scenes, dev, 7, ModeProcessed, 32, 12, frand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 12 {
+		t.Fatalf("captured %d samples", ds.Len())
+	}
+	for i, s := range ds.Samples {
+		if s.Label != i {
+			t.Fatalf("sample %d label %d", i, s.Label)
+		}
+		if s.Device != 7 {
+			t.Fatal("device index not propagated")
+		}
+		sh := s.X.Shape()
+		if sh[0] != 3 || sh[1] != 32 || sh[2] != 32 {
+			t.Fatalf("tensor shape %v", sh)
+		}
+	}
+}
+
+func TestCaptureRAWDiffersFromProcessed(t *testing.T) {
+	gen := scene.NewImageNet12(64)
+	scenes := gen.RenderSet(1, frand.New(31))[:2]
+	dev, _ := device.ByName("G4")
+	proc, err := Capture(scenes, dev, 0, ModeProcessed, 32, 12, frand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Capture(scenes, dev, 0, ModeRAW, 32, 12, frand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Samples[0].X.AllClose(raw.Samples[0].X, 1e-4) {
+		t.Fatal("RAW capture identical to processed capture")
+	}
+}
+
+func TestCaptureWithPipeline(t *testing.T) {
+	gen := scene.NewImageNet12(64)
+	scenes := gen.RenderSet(1, frand.New(41))[:2]
+	dev, _ := device.ByName("S9")
+	noTone, err := isp.Baseline().Option(isp.StageTone, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := CaptureWithPipeline(scenes, dev, 0, isp.Baseline(), 32, 12, frand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CaptureWithPipeline(scenes, dev, 0, noTone, 32, 12, frand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Samples[0].X.AllClose(b.Samples[0].X, 1e-5) {
+		t.Fatal("tone-omitted pipeline produced identical tensors")
+	}
+}

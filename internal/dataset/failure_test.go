@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"testing"
+
+	"heteroswitch/internal/device"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/scene"
+)
+
+// Failure injection: an invalid sensor configuration must surface as an
+// error from Capture (wrapped with device context), never a panic.
+func TestCapturePropagatesSensorErrors(t *testing.T) {
+	gen := scene.NewImageNet12(16)
+	scenes := gen.RenderSet(1, frand.New(1))[:1]
+	dev, err := device.ByName("S9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := *dev
+	broken.Sensor.Resolution = 1 // fails Validate
+	if _, err := Capture(scenes, &broken, 0, ModeProcessed, 16, 12, frand.New(1)); err == nil {
+		t.Fatal("expected sensor validation error")
+	}
+	if _, err := Capture(scenes, &broken, 0, ModeRAW, 16, 12, frand.New(1)); err == nil {
+		t.Fatal("expected sensor validation error in RAW mode")
+	}
+}
+
+func TestSplitBoundaries(t *testing.T) {
+	d := synthDataset(4, 2)
+	tr, te := d.Split(0)
+	if tr.Len() != 0 || te.Len() != 4 {
+		t.Fatal("Split(0) wrong")
+	}
+	tr, te = d.Split(1)
+	if tr.Len() != 4 || te.Len() != 0 {
+		t.Fatal("Split(1) wrong")
+	}
+	tr, te = d.Split(2.0) // over-fraction clamps
+	if tr.Len() != 4 || te.Len() != 0 {
+		t.Fatal("Split(>1) must clamp")
+	}
+}
+
+func TestPartitionMoreShardsThanSamples(t *testing.T) {
+	d := synthDataset(3, 2)
+	shards := d.PartitionIID(5, frand.New(1))
+	total := 0
+	empty := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() == 0 {
+			empty++
+		}
+	}
+	if total != 3 || empty != 2 {
+		t.Fatalf("partition of 3 into 5: total %d empty %d", total, empty)
+	}
+}

@@ -1,0 +1,198 @@
+// Package ecg synthesizes the non-vision workload of §6.6: electrocardiogram
+// windows whose heart rate must be regressed, recorded through four sensor
+// types with distinct noise signatures (the system-induced heterogeneity of
+// physiological sensing).
+//
+// The waveform model is the standard sum-of-Gaussians P-QRS-T template; the
+// four sensors mirror the device classes of Vollmer et al.'s multi-device
+// recordings: a clean chest strap, a wrist wearable with baseline wander, a
+// dry-electrode handheld with powerline hum, and an adhesive patch with
+// motion artifacts.
+package ecg
+
+import (
+	"fmt"
+	"math"
+
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/tensor"
+)
+
+// Window geometry: 4 seconds at 64 Hz.
+const (
+	SampleRate = 64
+	Seconds    = 4
+	WindowLen  = SampleRate * Seconds
+)
+
+// HR range generated, in beats per minute.
+const (
+	MinHR = 50.0
+	MaxHR = 120.0
+)
+
+// hrScale normalizes heart rates into a regression-friendly range.
+const hrScale = 200.0
+
+// NormalizeHR maps bpm into the network's target space.
+func NormalizeHR(bpm float64) float32 { return float32(bpm / hrScale) }
+
+// DenormalizeHR maps a network output back to bpm.
+func DenormalizeHR(v float32) float64 { return float64(v) * hrScale }
+
+// wave is one Gaussian component of the beat template: position is the
+// fraction of the beat period, width likewise, amp in millivolt-ish units.
+type wave struct{ pos, width, amp float64 }
+
+// pqrst is the canonical beat template.
+var pqrst = []wave{
+	{pos: 0.15, width: 0.045, amp: 0.12},  // P
+	{pos: 0.27, width: 0.012, amp: -0.18}, // Q
+	{pos: 0.30, width: 0.016, amp: 1.00},  // R
+	{pos: 0.33, width: 0.014, amp: -0.28}, // S
+	{pos: 0.55, width: 0.070, amp: 0.25},  // T
+}
+
+// CleanWaveform synthesizes a noise-free ECG window at the given heart rate.
+// phase (in beats) offsets the window start so identical HRs still produce
+// varied windows.
+func CleanWaveform(bpm, phase float64) []float64 {
+	period := 60.0 / bpm // seconds per beat
+	out := make([]float64, WindowLen)
+	for i := range out {
+		tSec := float64(i) / SampleRate
+		beatPos := math.Mod(tSec/period+phase, 1.0)
+		var v float64
+		for _, w := range pqrst {
+			d := beatPos - w.pos
+			// Include wrapped contribution so beats join smoothly.
+			for _, dd := range []float64{d, d - 1, d + 1} {
+				v += w.amp * math.Exp(-dd*dd/(2*w.width*w.width))
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SensorType enumerates the four recording devices.
+type SensorType int
+
+// The four sensor types of the experiment.
+const (
+	SensorChestStrap SensorType = iota
+	SensorWrist
+	SensorDryElectrode
+	SensorPatch
+	NumSensors
+)
+
+// String implements fmt.Stringer.
+func (s SensorType) String() string {
+	switch s {
+	case SensorChestStrap:
+		return "chest-strap"
+	case SensorWrist:
+		return "wrist-wearable"
+	case SensorDryElectrode:
+		return "dry-electrode"
+	case SensorPatch:
+		return "adhesive-patch"
+	}
+	return fmt.Sprintf("SensorType(%d)", int(s))
+}
+
+// Record passes a clean waveform through the sensor's noise model.
+func Record(clean []float64, sensor SensorType, rng *frand.RNG) []float64 {
+	out := make([]float64, len(clean))
+	copy(out, clean)
+	switch sensor {
+	case SensorChestStrap:
+		// Gold standard: small white noise.
+		for i := range out {
+			out[i] += 0.02 * rng.NormFloat64()
+		}
+	case SensorWrist:
+		// Attenuated signal with strong baseline wander and white noise.
+		wanderF := rng.Uniform(0.15, 0.45) // Hz
+		wanderA := rng.Uniform(0.15, 0.35)
+		ph := rng.Uniform(0, 2*math.Pi)
+		for i := range out {
+			tSec := float64(i) / SampleRate
+			out[i] = 0.7*out[i] + wanderA*math.Sin(2*math.Pi*wanderF*tSec+ph) + 0.05*rng.NormFloat64()
+		}
+	case SensorDryElectrode:
+		// Powerline hum (50 Hz, aliased at our 64 Hz rate, as real
+		// undersampled recordings exhibit) plus moderate white noise.
+		humA := rng.Uniform(0.08, 0.20)
+		ph := rng.Uniform(0, 2*math.Pi)
+		for i := range out {
+			tSec := float64(i) / SampleRate
+			out[i] += humA*math.Sin(2*math.Pi*50*tSec+ph) + 0.06*rng.NormFloat64()
+		}
+	case SensorPatch:
+		// Motion artifacts: occasional step offsets and spike bursts.
+		offset := 0.0
+		for i := range out {
+			if rng.Float64() < 0.01 {
+				offset = rng.Uniform(-0.3, 0.3)
+			}
+			v := out[i] + offset + 0.04*rng.NormFloat64()
+			if rng.Float64() < 0.005 {
+				v += rng.Uniform(-0.8, 0.8)
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// toTensor converts a waveform to a normalized flat float32 tensor.
+func toTensor(sig []float64) *tensor.Tensor {
+	t := tensor.New(len(sig))
+	d := t.Data()
+	for i, v := range sig {
+		d[i] = float32(v)
+	}
+	return t
+}
+
+// GenerateDataset builds n labelled windows recorded by the given sensor.
+// Device index in the samples is the sensor type. Targets are stored in
+// Sample.Multi (NumClasses=1) for the MSE regression path.
+func GenerateDataset(sensor SensorType, n int, rng *frand.RNG) *dataset.Dataset {
+	ds := &dataset.Dataset{NumClasses: 1}
+	for i := 0; i < n; i++ {
+		bpm := rng.Uniform(MinHR, MaxHR)
+		clean := CleanWaveform(bpm, rng.Float64())
+		sig := Record(clean, sensor, rng)
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X:      toTensor(sig),
+			Label:  -1,
+			Multi:  []float32{NormalizeHR(bpm)},
+			Device: int(sensor),
+		})
+	}
+	return ds
+}
+
+// PairedRecordings generates n underlying waveforms, each recorded by ALL
+// four sensors — the "same individual ECG data" through different hardware,
+// used to measure cross-sensor prediction divergence (§6.6's 31.8% metric).
+// The return is indexed [signal][sensor]; truths holds the bpm per signal.
+func PairedRecordings(n int, rng *frand.RNG) (windows [][]*tensor.Tensor, truths []float64) {
+	windows = make([][]*tensor.Tensor, n)
+	truths = make([]float64, n)
+	for i := 0; i < n; i++ {
+		bpm := rng.Uniform(MinHR, MaxHR)
+		truths[i] = bpm
+		clean := CleanWaveform(bpm, rng.Float64())
+		row := make([]*tensor.Tensor, NumSensors)
+		for s := SensorType(0); s < NumSensors; s++ {
+			row[s] = toTensor(Record(clean, s, rng))
+		}
+		windows[i] = row
+	}
+	return windows, truths
+}

@@ -1,0 +1,139 @@
+package ecg
+
+import (
+	"math"
+	"testing"
+
+	"heteroswitch/internal/frand"
+)
+
+func TestCleanWaveformPeriodicity(t *testing.T) {
+	// At 60 bpm the beat period is exactly one second = SampleRate samples;
+	// the waveform must repeat with that period.
+	sig := CleanWaveform(60, 0)
+	for i := 0; i < WindowLen-SampleRate; i++ {
+		if math.Abs(sig[i]-sig[i+SampleRate]) > 1e-9 {
+			t.Fatalf("waveform not periodic at sample %d", i)
+		}
+	}
+}
+
+func TestCleanWaveformRPeakDominates(t *testing.T) {
+	sig := CleanWaveform(75, 0)
+	maxV := sig[0]
+	for _, v := range sig {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV < 0.8 || maxV > 1.2 {
+		t.Fatalf("R peak amplitude %v outside template range", maxV)
+	}
+}
+
+func TestBeatCountMatchesHR(t *testing.T) {
+	// Count R peaks (threshold crossings) and compare with bpm.
+	for _, bpm := range []float64{50, 80, 120} {
+		sig := CleanWaveform(bpm, 0)
+		peaks := 0
+		above := false
+		for _, v := range sig {
+			if v > 0.5 && !above {
+				peaks++
+				above = true
+			} else if v < 0.2 {
+				above = false
+			}
+		}
+		wantBeats := bpm / 60 * Seconds
+		if math.Abs(float64(peaks)-wantBeats) > 1.5 {
+			t.Fatalf("bpm %v: %d peaks, want ~%.1f", bpm, peaks, wantBeats)
+		}
+	}
+}
+
+func TestSensorsAddDistinctNoise(t *testing.T) {
+	clean := CleanWaveform(70, 0.2)
+	rng := frand.New(1)
+	var mses [NumSensors]float64
+	for s := SensorType(0); s < NumSensors; s++ {
+		rec := Record(clean, s, rng)
+		var mse float64
+		for i := range rec {
+			d := rec[i] - clean[i]
+			mse += d * d
+		}
+		mses[s] = mse / float64(len(rec))
+	}
+	// Chest strap must be the cleanest.
+	for s := SensorChestStrap + 1; s < NumSensors; s++ {
+		if mses[SensorChestStrap] >= mses[s] {
+			t.Fatalf("chest strap (%v) noisier than %v (%v)", mses[SensorChestStrap], s, mses[s])
+		}
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	clean := CleanWaveform(90, 0)
+	a := Record(clean, SensorPatch, frand.New(7))
+	b := Record(clean, SensorPatch, frand.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("recording not deterministic under identical RNG")
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds := GenerateDataset(SensorWrist, 10, frand.New(3))
+	if ds.Len() != 10 || ds.NumClasses != 1 {
+		t.Fatalf("dataset %d samples %d classes", ds.Len(), ds.NumClasses)
+	}
+	for _, s := range ds.Samples {
+		if s.X.Size() != WindowLen {
+			t.Fatalf("window length %d", s.X.Size())
+		}
+		if len(s.Multi) != 1 {
+			t.Fatal("missing regression target")
+		}
+		bpm := DenormalizeHR(s.Multi[0])
+		if bpm < MinHR || bpm > MaxHR {
+			t.Fatalf("target bpm %v out of range", bpm)
+		}
+		if s.Device != int(SensorWrist) {
+			t.Fatal("device tag wrong")
+		}
+	}
+}
+
+func TestNormalizeRoundtrip(t *testing.T) {
+	for _, bpm := range []float64{50, 77.5, 120} {
+		if got := DenormalizeHR(NormalizeHR(bpm)); math.Abs(got-bpm) > 1e-3 {
+			t.Fatalf("normalize roundtrip %v -> %v", bpm, got)
+		}
+	}
+}
+
+func TestPairedRecordings(t *testing.T) {
+	windows, truths := PairedRecordings(5, frand.New(9))
+	if len(windows) != 5 || len(truths) != 5 {
+		t.Fatalf("%d windows %d truths", len(windows), len(truths))
+	}
+	for i, row := range windows {
+		if len(row) != int(NumSensors) {
+			t.Fatalf("signal %d has %d sensor variants", i, len(row))
+		}
+		// Variants share the underlying waveform: they should correlate but
+		// not be identical.
+		same := true
+		for j := range row[0].Data() {
+			if row[0].Data()[j] != row[1].Data()[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("two sensors produced identical recordings")
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness builds its workload from the simulated
+// device population, runs the training protocol, and returns a result whose
+// String() renders the same rows/series the paper reports.
+//
+// Every harness accepts Options with a Scale knob: Scale=1 is the intended
+// reproduction size (minutes on a laptop CPU), small scales (0.1-0.3) run in
+// seconds and preserve trends, and the unit tests use the small end.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/device"
+	"heteroswitch/internal/fl"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/metrics"
+	"heteroswitch/internal/models"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/scene"
+)
+
+// Options control workload sizing shared by all harnesses.
+type Options struct {
+	// Scale multiplies sample counts, epochs, and rounds. 1.0 reproduces the
+	// recorded EXPERIMENTS.md numbers.
+	Scale float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds parallel client training and parallel device capture.
+	Workers int
+	// OutRes is the model input resolution.
+	OutRes int
+}
+
+// DefaultOptions returns the standard configuration (Scale 1).
+func DefaultOptions() Options {
+	w := runtime.NumCPU() - 1
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	return Options{Scale: 1, Seed: 42, Workers: w, OutRes: 32}
+}
+
+// scaled returns max(1, round(n*Scale)).
+func (o Options) scaled(n int) int {
+	v := int(float64(n)*o.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// DeviceData is the captured federation workload: every Table-1 device's
+// train and test datasets, derived from SHARED latent scenes (the paper's
+// controlled collection protocol).
+type DeviceData struct {
+	Profiles []*device.Profile
+	Train    map[int]*dataset.Dataset
+	Test     map[int]*dataset.Dataset
+	Classes  int
+}
+
+// DeviceIndex returns the index of the named profile, or -1.
+func (dd *DeviceData) DeviceIndex(name string) int {
+	for i, p := range dd.Profiles {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllTest concatenates every device's test set.
+func (dd *DeviceData) AllTest() *dataset.Dataset {
+	parts := make([]*dataset.Dataset, len(dd.Profiles))
+	for i := range dd.Profiles {
+		parts[i] = dd.Test[i]
+	}
+	return dataset.Concat(parts...)
+}
+
+// BuildDeviceData renders perClassTrain+perClassTest scenes per class and
+// captures them with every Table-1 device (in parallel across devices).
+func BuildDeviceData(opts Options, perClassTrain, perClassTest int, mode dataset.CaptureMode) (*DeviceData, error) {
+	gen := scene.NewImageNet12(64)
+	rng := frand.New(opts.Seed)
+	trainScenes := gen.RenderSet(perClassTrain, rng.SplitNamed("train-scenes"))
+	testScenes := gen.RenderSet(perClassTest, rng.SplitNamed("test-scenes"))
+	profiles := device.Profiles()
+
+	dd := &DeviceData{
+		Profiles: profiles,
+		Train:    map[int]*dataset.Dataset{},
+		Test:     map[int]*dataset.Dataset{},
+		Classes:  gen.NumClasses(),
+	}
+	type result struct {
+		idx      int
+		tr, te   *dataset.Dataset
+		captured error
+	}
+	results := make([]result, len(profiles))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(opts.Workers, 1))
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p *device.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			crng := frand.New(opts.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
+			tr, err := dataset.Capture(trainScenes, p, i, mode, opts.OutRes, gen.NumClasses(), crng)
+			if err != nil {
+				results[i] = result{idx: i, captured: err}
+				return
+			}
+			te, err := dataset.Capture(testScenes, p, i, mode, opts.OutRes, gen.NumClasses(), crng)
+			results[i] = result{idx: i, tr: tr, te: te, captured: err}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.captured != nil {
+			return nil, r.captured
+		}
+		dd.Train[r.idx] = r.tr
+		dd.Test[r.idx] = r.te
+	}
+	return dd, nil
+}
+
+// TrainCentralized runs plain minibatch SGD for the given epochs — the
+// single-device training used by the characterization experiments (§3).
+func TrainCentralized(net *nn.Network, ds *dataset.Dataset, epochs, batch int, lr float64, rng *frand.RNG) {
+	cfg := fl.Config{
+		Rounds: 1, ClientsPerRound: 1,
+		BatchSize: batch, LocalEpochs: epochs, LR: lr, Workers: 1,
+	}
+	fl.TrainLocal(net, ds, cfg, nn.SoftmaxCrossEntropy{}, rng, nil, nil)
+}
+
+// SimpleCNNBuilder is the characterization model builder (fast; the paper's
+// trends do not depend on architecture for §3-4, and §6.3/Table 5 covers the
+// architecture axis explicitly).
+func SimpleCNNBuilder(seed uint64, classes int) models.Builder {
+	b, err := models.BuilderFor(models.ArchSimpleCNN, seed, 3, classes)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// MobileNetBuilder is the §6 default model builder.
+func MobileNetBuilder(seed uint64, classes int) models.Builder {
+	b, err := models.BuilderFor(models.ArchMobileNet, seed, 3, classes)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// MarketShareCounts allocates n clients to the Table-1 devices by market
+// share.
+func MarketShareCounts(dd *DeviceData, n int) []int {
+	return fl.DeviceCounts(device.MarketShares(dd.Profiles), n)
+}
+
+// EqualCounts allocates n clients evenly across devices (used by the DG
+// experiments where every device participates equally).
+func EqualCounts(numDevices, n int) []int {
+	counts := make([]int, numDevices)
+	for i := 0; i < n; i++ {
+		counts[i%numDevices]++
+	}
+	return counts
+}
+
+// RunFL builds a population from dd.Train according to counts, runs the
+// strategy for cfg.Rounds, and returns the trained server.
+func RunFL(strategy fl.Strategy, dd *DeviceData, counts []int, cfg fl.Config, builder models.Builder) (*fl.Server, error) {
+	return RunFLWithLoss(strategy, dd.Train, counts, cfg, builder, nn.SoftmaxCrossEntropy{})
+}
+
+// RunFLWithLoss is RunFL with an explicit per-device dataset map and loss
+// (the multi-label and regression experiments use BCE / MSE).
+func RunFLWithLoss(strategy fl.Strategy, perDevice map[int]*dataset.Dataset, counts []int,
+	cfg fl.Config, builder models.Builder, loss nn.Loss) (*fl.Server, error) {
+	clients, err := fl.BuildPopulation(perDevice, counts, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ClientsPerRound > len(clients) {
+		cfg.ClientsPerRound = len(clients)
+	}
+	srv, err := fl.NewServer(cfg, builder, loss, strategy, clients)
+	if err != nil {
+		return nil, err
+	}
+	srv.Run(nil)
+	return srv, nil
+}
+
+// deviceProfiles returns the Table-1 profiles (alias kept local so harness
+// files read naturally).
+func deviceProfiles() []*device.Profile { return device.Profiles() }
+
+// newSceneGen returns the 12-class scene generator at capture resolution.
+func newSceneGen() *scene.Generator { return scene.NewImageNet12(64) }
+
+// PerDeviceAccuracies evaluates the network on each device's test set,
+// returning accuracies indexed by device.
+func PerDeviceAccuracies(net *nn.Network, dd *DeviceData, batch int) map[int]float64 {
+	out := map[int]float64{}
+	for i := range dd.Profiles {
+		out[i] = metrics.Accuracy(net, dd.Test[i], batch)
+	}
+	return out
+}
+
+// Table rendering -------------------------------------------------------------
+
+// Table is a minimal text table used by all result printers.
+type Table struct {
+	Title   string
+	Header  []string
+	RowData [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.RowData = append(t.RowData, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.RowData {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[minInt(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.RowData {
+		line(row)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// sortedKeys returns the sorted keys of an int-keyed map.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lossCE returns the standard classification loss (helper so harness files
+// read declaratively).
+func lossCE() nn.Loss { return nn.SoftmaxCrossEntropy{} }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/core"
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/fl"
+	"heteroswitch/internal/metrics"
+	"heteroswitch/internal/models"
+)
+
+// MethodScore holds the paper's three evaluation metrics for one method:
+// worst-case accuracy (DG), variance of per-device accuracy in percentage
+// points squared, and average accuracy (fairness).
+type MethodScore struct {
+	Method    string
+	WorstAcc  float64
+	Variance  float64 // of accuracy expressed in percent, i.e. pp²
+	AvgAcc    float64
+	PerDevice []float64
+}
+
+// scoreFromAccuracies converts per-device accuracies into the Table 4/5
+// metric triple.
+func scoreFromAccuracies(method string, accByDevice map[int]float64) MethodScore {
+	accs := metrics.Values(accByDevice)
+	pcts := make([]float64, len(accs))
+	for i, a := range accs {
+		pcts[i] = a * 100
+	}
+	return MethodScore{
+		Method:    method,
+		WorstAcc:  metrics.Worst(accs),
+		Variance:  metrics.Variance(pcts),
+		AvgAcc:    metrics.Mean(accs),
+		PerDevice: accs,
+	}
+}
+
+// Table4Result is the main evaluation: HeteroSwitch and its ablations
+// against FedAvg, q-FedAvg, FedProx, and SCAFFOLD.
+type Table4Result struct {
+	Scores []MethodScore
+}
+
+// String renders Table 4's layout.
+func (r *Table4Result) String() string {
+	t := &Table{
+		Title:  "Table 4 — fairness and domain generalization",
+		Header: []string{"method", "worst-case acc (DG)", "variance (pp²)", "avg acc"},
+	}
+	for _, s := range r.Scores {
+		t.AddRow(s.Method, pct(s.WorstAcc), fmt.Sprintf("%.2f", s.Variance), pct(s.AvgAcc))
+	}
+	return t.String()
+}
+
+// table4Methods builds the method list in the paper's row order. Fresh
+// strategy values are constructed per call because several carry state.
+func table4Methods(totalClients int) []fl.Strategy {
+	return []fl.Strategy{
+		fl.FedAvg{},
+		core.NewWithMode(core.ModeTransformOnly),
+		core.NewWithMode(core.ModeTransformSWAD),
+		core.New(),
+		&fl.QFedAvg{Q: 1e-6}, // paper's tuned q (App. A.2)
+		&fl.FedProx{Mu: 1e-1},
+		&fl.Scaffold{TotalClients: totalClients},
+	}
+}
+
+// table4Config is the §6 configuration with scaled rounds.
+func table4Config(opts Options) fl.Config {
+	return fl.Config{
+		Rounds:          opts.scaled(120),
+		ClientsPerRound: 20,
+		BatchSize:       10,
+		LocalEpochs:     1,
+		LR:              0.1,
+		Seed:            opts.Seed,
+		Workers:         opts.Workers,
+	}
+}
+
+// Table4 runs the full main-evaluation sweep with TinyMobileNetV3.
+func Table4(opts Options) (*Table4Result, error) {
+	dd, err := BuildDeviceData(opts, opts.scaled(12), opts.scaled(4), dataset.ModeProcessed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := table4Config(opts)
+	n := opts.scaled(100)
+	counts := MarketShareCounts(dd, n)
+	builder := MobileNetBuilder(opts.Seed, dd.Classes)
+
+	res := &Table4Result{}
+	for _, strat := range table4Methods(n) {
+		srv, err := RunFL(strat, dd, counts, cfg, builder)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", strat.Name(), err)
+		}
+		acc := PerDeviceAccuracies(srv.GlobalNet(), dd, 16)
+		res.Scores = append(res.Scores, scoreFromAccuracies(strat.Name(), acc))
+	}
+	return res, nil
+}
+
+// Table5Result evaluates FedAvg vs HeteroSwitch across model architectures.
+type Table5Result struct {
+	Rows []struct {
+		Arch           string
+		FedAvg, Hetero MethodScore
+	}
+}
+
+// String renders Table 5's layout.
+func (r *Table5Result) String() string {
+	t := &Table{
+		Title: "Table 5 — architectures × {FedAvg, HeteroSwitch}",
+		Header: []string{"model", "FedAvg worst", "FedAvg var", "FedAvg avg",
+			"HS worst", "HS var", "HS avg"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Arch,
+			pct(row.FedAvg.WorstAcc), fmt.Sprintf("%.2f", row.FedAvg.Variance), pct(row.FedAvg.AvgAcc),
+			pct(row.Hetero.WorstAcc), fmt.Sprintf("%.2f", row.Hetero.Variance), pct(row.Hetero.AvgAcc))
+	}
+	return t.String()
+}
+
+// Table5 runs the architecture sweep.
+func Table5(opts Options) (*Table5Result, error) {
+	dd, err := BuildDeviceData(opts, opts.scaled(12), opts.scaled(4), dataset.ModeProcessed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := table4Config(opts)
+	n := opts.scaled(100)
+	counts := MarketShareCounts(dd, n)
+
+	archs := []models.Arch{models.ArchMobileNet, models.ArchShuffleNet, models.ArchSqueezeNet}
+	res := &Table5Result{}
+	for _, arch := range archs {
+		builder, err := models.BuilderFor(arch, opts.Seed, 3, dd.Classes)
+		if err != nil {
+			return nil, err
+		}
+		var scores [2]MethodScore
+		for i, strat := range []fl.Strategy{fl.FedAvg{}, core.New()} {
+			srv, err := RunFL(strat, dd, counts, cfg, builder)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s/%s: %w", arch, strat.Name(), err)
+			}
+			acc := PerDeviceAccuracies(srv.GlobalNet(), dd, 16)
+			scores[i] = scoreFromAccuracies(strat.Name(), acc)
+		}
+		res.Rows = append(res.Rows, struct {
+			Arch           string
+			FedAvg, Hetero MethodScore
+		}{string(arch), scores[0], scores[1]})
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+// Package fl implements the federated-learning engine of the paper's
+// evaluation: a simulated server/client round loop over a population of
+// device-typed clients, with pluggable aggregation strategies (FedAvg,
+// FedProx, q-FedAvg, SCAFFOLD — the baselines of §6.2) and a LocalUpdate
+// extension point that HeteroSwitch (internal/core) plugs into.
+//
+// Determinism: given the same Config.Seed, population, and strategy, every
+// run produces identical results even with Workers > 1 — workers only
+// compute; aggregation always happens in client order on the main goroutine.
+package fl
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/models"
+	"heteroswitch/internal/nn"
+)
+
+// Config carries the FL hyperparameters. The paper's defaults (§6, App. A.2)
+// are N=100 total clients, K=20 per round, B=10, E=1, η=0.1, T=1000.
+type Config struct {
+	Rounds          int     // T: communication rounds
+	ClientsPerRound int     // K: participants per round
+	BatchSize       int     // B: local minibatch size
+	LocalEpochs     int     // E: local epochs
+	LR              float64 // η: local learning rate
+	Momentum        float64 // local SGD momentum (0 in the paper's setup)
+	WeightDecay     float64 // local L2 weight decay
+	Seed            uint64  // master seed
+	Workers         int     // parallel client trainers (<=1 means serial)
+	// ClientDropout is the probability that a sampled client fails to
+	// report back this round (device offline, battery, network) — the
+	// partial-participation regime of production FL. 0 disables dropout.
+	ClientDropout float64
+}
+
+// Default returns the paper's configuration with a modest round count; the
+// experiments override Rounds per their scale knobs.
+func Default() Config {
+	return Config{
+		Rounds:          100,
+		ClientsPerRound: 20,
+		BatchSize:       10,
+		LocalEpochs:     1,
+		LR:              0.1,
+		Seed:            1,
+		Workers:         4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Rounds <= 0 || c.ClientsPerRound <= 0 || c.BatchSize <= 0 || c.LocalEpochs <= 0 {
+		return fmt.Errorf("fl: non-positive round/client/batch/epoch config: %+v", c)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("fl: non-positive learning rate %v", c.LR)
+	}
+	if c.ClientDropout < 0 || c.ClientDropout >= 1 {
+		return fmt.Errorf("fl: client dropout %v outside [0,1)", c.ClientDropout)
+	}
+	return nil
+}
+
+// Client is one federated participant: a local dataset captured by a device
+// of some type, plus a private RNG stream.
+type Client struct {
+	ID     int
+	Device int // device profile index (groups clients for fairness metrics)
+	Data   *dataset.Dataset
+	rng    *frand.RNG
+}
+
+// NewClient builds a client with its own deterministic RNG stream.
+func NewClient(id, deviceIdx int, data *dataset.Dataset, seed uint64) *Client {
+	return &Client{ID: id, Device: deviceIdx, Data: data, rng: frand.New(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)}
+}
+
+// RoundRNG derives the client's deterministic RNG for a given round,
+// independent of scheduling order.
+func (c *Client) RoundRNG(round int) *frand.RNG {
+	child := frand.New(uint64(c.ID+1)*0xc2b2ae3d27d4eb4f ^ uint64(round+1)*0x9e3779b97f4a7c15)
+	_ = c.rng // the stable per-client stream seeds identity; round stream is pure
+	return child
+}
+
+// ClientContext is everything a strategy's LocalUpdate can see.
+type ClientContext struct {
+	Net    *nn.Network // already loaded with the round's global weights
+	Global nn.Weights  // the round's global weights (read-only)
+	Client *Client
+	Cfg    Config
+	Loss   nn.Loss
+	Round  int
+	RNG    *frand.RNG // deterministic per (client, round)
+}
+
+// ClientResult is what a client reports back to the server.
+type ClientResult struct {
+	ClientID   int
+	DeviceIdx  int
+	NumSamples int
+	Weights    nn.Weights
+	TrainLoss  float64 // running mean of batch losses (Algorithm 1's L_train)
+	InitLoss   float64 // loss of the global model on the client data (L_init)
+}
+
+// Strategy couples a client-side local update rule with a server-side
+// aggregation rule.
+type Strategy interface {
+	Name() string
+	// LocalUpdate trains ctx.Net (which holds the global weights) on the
+	// client's data and returns the updated weights plus losses.
+	LocalUpdate(ctx *ClientContext) ClientResult
+	// Aggregate merges the round's client results into new global weights.
+	// results arrive in sampling order.
+	Aggregate(global nn.Weights, results []ClientResult, cfg Config) nn.Weights
+}
+
+// RoundStats summarizes one communication round.
+type RoundStats struct {
+	Round       int
+	MeanLoss    float64 // sample-weighted mean of client train losses
+	MeanInit    float64 // sample-weighted mean of client initial losses
+	Sampled     []int   // client IDs that participated
+	Dropped     []int   // client IDs sampled but lost to dropout
+	TotalEpochs int
+	// Communication accounting: bytes broadcast to clients (down) and
+	// reported back (up) this round, assuming float32 tensors on the wire.
+	BytesDown int64
+	BytesUp   int64
+}
+
+// Population helpers ---------------------------------------------------------
+
+// DeviceCounts converts market shares into integer client counts summing to
+// n, using largest-remainder apportionment. Every positive-share device gets
+// at least its floor.
+func DeviceCounts(shares []float64, n int) []int {
+	counts := make([]int, len(shares))
+	remainders := make([]float64, len(shares))
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	assigned := 0
+	for i, s := range shares {
+		exact := float64(n) * s / total
+		counts[i] = int(exact)
+		remainders[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(remainders); i++ {
+			if remainders[i] > remainders[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		remainders[best] = -1
+		assigned++
+	}
+	return counts
+}
+
+// BuildPopulation creates clients per device according to counts, splitting
+// each device's dataset evenly (round-robin after shuffle) among its
+// clients. perDevice maps device index → that device's training pool.
+func BuildPopulation(perDevice map[int]*dataset.Dataset, counts []int, seed uint64) ([]*Client, error) {
+	rng := frand.New(seed)
+	var clients []*Client
+	id := 0
+	for dev := 0; dev < len(counts); dev++ {
+		k := counts[dev]
+		if k == 0 {
+			continue
+		}
+		ds, ok := perDevice[dev]
+		if !ok || ds.Len() == 0 {
+			return nil, fmt.Errorf("fl: no data for device %d with %d clients", dev, k)
+		}
+		shards := ds.PartitionIID(k, rng.Split())
+		for _, sh := range shards {
+			clients = append(clients, NewClient(id, dev, sh, seed))
+			id++
+		}
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: empty population")
+	}
+	return clients, nil
+}
+
+// Builder re-exports models.Builder for convenience.
+type Builder = models.Builder

@@ -1,0 +1,214 @@
+package fl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+)
+
+// Server drives the federated training loop: sample K clients, broadcast the
+// global weights, run local updates (in parallel across workers), aggregate.
+type Server struct {
+	Cfg      Config
+	Strategy Strategy
+	Loss     nn.Loss
+	Clients  []*Client
+	Global   nn.Weights
+
+	builder Builder
+	rng     *frand.RNG
+	// worker-owned network replicas, one per worker
+	nets []*nn.Network
+}
+
+// NewServer builds a server with a fresh global model from the builder.
+func NewServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy, clients []*Client) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if cfg.ClientsPerRound > len(clients) {
+		return nil, fmt.Errorf("fl: K=%d exceeds population %d", cfg.ClientsPerRound, len(clients))
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	nets := make([]*nn.Network, workers)
+	for i := range nets {
+		nets[i] = builder()
+	}
+	return &Server{
+		Cfg:      cfg,
+		Strategy: strategy,
+		Loss:     loss,
+		Clients:  clients,
+		Global:   nets[0].Snapshot(),
+		builder:  builder,
+		rng:      frand.New(cfg.Seed ^ 0x5ca1ab1e),
+		nets:     nets,
+	}, nil
+}
+
+// SampleClients picks K distinct clients uniformly for the round.
+func (s *Server) SampleClients() []*Client {
+	idx := s.rng.Choice(len(s.Clients), s.Cfg.ClientsPerRound)
+	out := make([]*Client, len(idx))
+	for i, j := range idx {
+		out[i] = s.Clients[j]
+	}
+	return out
+}
+
+// weightBytes returns the on-the-wire size of one weight set (float32
+// payloads; headers ignored).
+func weightBytes(w Weights) int64 {
+	var n int64
+	for _, p := range w.Params {
+		n += int64(p.Size()) * 4
+	}
+	for _, st := range w.States {
+		n += int64(st.Size()) * 4
+	}
+	return n
+}
+
+// Weights aliases nn.Weights for the local helper above.
+type Weights = nn.Weights
+
+// RunRound executes one communication round and returns its stats.
+func (s *Server) RunRound(round int) RoundStats {
+	sampled := s.SampleClients()
+	var dropped []int
+	if s.Cfg.ClientDropout > 0 {
+		kept := sampled[:0]
+		for _, c := range sampled {
+			if s.rng.Float64() < s.Cfg.ClientDropout {
+				dropped = append(dropped, c.ID)
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		sampled = kept
+	}
+	if len(sampled) == 0 {
+		// Everyone dropped: the round is lost; global model unchanged.
+		return RoundStats{Round: round, Dropped: dropped}
+	}
+	results := make([]ClientResult, len(sampled))
+
+	workers := len(s.nets)
+	if workers > len(sampled) {
+		workers = len(sampled)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(net *nn.Network) {
+			defer wg.Done()
+			for i := range jobs {
+				client := sampled[i]
+				if err := net.LoadWeights(s.Global); err != nil {
+					panic("fl: replica incompatible with global weights: " + err.Error())
+				}
+				ctx := &ClientContext{
+					Net:    net,
+					Global: s.Global,
+					Client: client,
+					Cfg:    s.Cfg,
+					Loss:   s.Loss,
+					Round:  round,
+					RNG:    client.RoundRNG(round),
+				}
+				results[i] = s.Strategy.LocalUpdate(ctx)
+			}
+		}(s.nets[w])
+	}
+	for i := range sampled {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	s.Global = s.Strategy.Aggregate(s.Global, results, s.Cfg)
+
+	stats := RoundStats{Round: round, Dropped: dropped}
+	wb := weightBytes(s.Global)
+	stats.BytesDown = wb * int64(len(sampled)+len(dropped)) // broadcast before dropout is known
+	stats.BytesUp = wb * int64(len(sampled))
+	var totalSamples float64
+	for _, r := range results {
+		n := float64(r.NumSamples)
+		stats.MeanLoss += r.TrainLoss * n
+		stats.MeanInit += r.InitLoss * n
+		totalSamples += n
+		stats.Sampled = append(stats.Sampled, r.ClientID)
+	}
+	if totalSamples > 0 {
+		stats.MeanLoss /= totalSamples
+		stats.MeanInit /= totalSamples
+	}
+	stats.TotalEpochs = len(sampled) * s.Cfg.LocalEpochs
+	return stats
+}
+
+// SaveCheckpoint serializes the current round counter and global weights so
+// a long-running federation can resume after a restart.
+func (s *Server) SaveCheckpoint(w io.Writer, round int) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(round))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("fl: checkpoint header: %w", err)
+	}
+	if _, err := s.Global.WriteTo(w); err != nil {
+		return fmt.Errorf("fl: checkpoint weights: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores global weights written by SaveCheckpoint and
+// returns the stored round counter. The weights must match the server's
+// model architecture.
+func (s *Server) LoadCheckpoint(r io.Reader) (round int, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("fl: checkpoint header: %w", err)
+	}
+	w, err := nn.ReadWeights(r)
+	if err != nil {
+		return 0, fmt.Errorf("fl: checkpoint weights: %w", err)
+	}
+	// Validate against the architecture via a replica before adopting.
+	if err := s.nets[0].LoadWeights(w); err != nil {
+		return 0, fmt.Errorf("fl: checkpoint incompatible: %w", err)
+	}
+	s.Global = w
+	return int(binary.LittleEndian.Uint64(hdr[:])), nil
+}
+
+// Run executes cfg.Rounds rounds, invoking callback (if non-nil) after each.
+func (s *Server) Run(callback func(RoundStats)) {
+	for round := 0; round < s.Cfg.Rounds; round++ {
+		stats := s.RunRound(round)
+		if callback != nil {
+			callback(stats)
+		}
+	}
+}
+
+// GlobalNet returns a network loaded with the current global weights, for
+// evaluation. The returned network is owned by the caller.
+func (s *Server) GlobalNet() *nn.Network {
+	net := s.builder()
+	if err := net.LoadWeights(s.Global); err != nil {
+		panic("fl: builder incompatible with global weights: " + err.Error())
+	}
+	return net
+}

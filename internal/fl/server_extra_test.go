@@ -1,0 +1,117 @@
+package fl
+
+import (
+	"bytes"
+	"testing"
+
+	"heteroswitch/internal/nn"
+)
+
+func TestClientDropoutReducesParticipation(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	srv.Cfg.ClientDropout = 0.5
+	var sampled, dropped int
+	srv.Run(func(s RoundStats) {
+		sampled += len(s.Sampled)
+		dropped += len(s.Dropped)
+	})
+	if dropped == 0 {
+		t.Fatal("50% dropout never dropped a client")
+	}
+	if sampled == 0 {
+		t.Fatal("50% dropout killed every round")
+	}
+	// Dropped + sampled should equal K per round in expectation; exactly per
+	// round by construction.
+	if sampled+dropped != srv.Cfg.Rounds*srv.Cfg.ClientsPerRound {
+		t.Fatalf("accounting mismatch: %d+%d != %d", sampled, dropped, srv.Cfg.Rounds*srv.Cfg.ClientsPerRound)
+	}
+}
+
+func TestDropoutZeroPreservesLegacyStreams(t *testing.T) {
+	// ClientDropout=0 must not consume RNG draws: results identical to a
+	// server built before the feature existed (regression lock via the
+	// deterministic fixture).
+	a := fixtureServer(t, FedAvg{}, 1)
+	b := fixtureServer(t, FedAvg{}, 1)
+	b.Cfg.ClientDropout = 0
+	a.Run(nil)
+	b.Run(nil)
+	for i := range a.Global.Params {
+		if !a.Global.Params[i].AllClose(b.Global.Params[i], 0) {
+			t.Fatal("dropout=0 changed results")
+		}
+	}
+}
+
+func TestConfigRejectsBadDropout(t *testing.T) {
+	cfg := Default()
+	cfg.ClientDropout = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("dropout=1 must be rejected")
+	}
+	cfg.ClientDropout = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative dropout must be rejected")
+	}
+}
+
+func TestCommunicationAccounting(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	wb := weightBytes(srv.Global)
+	if wb <= 0 {
+		t.Fatal("weight bytes must be positive")
+	}
+	stats := srv.RunRound(0)
+	wantDown := wb * int64(srv.Cfg.ClientsPerRound)
+	if stats.BytesDown != wantDown || stats.BytesUp != wantDown {
+		t.Fatalf("bytes down/up = %d/%d, want %d", stats.BytesDown, stats.BytesUp, wantDown)
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	srv.Run(nil)
+	var buf bytes.Buffer
+	if err := srv.SaveCheckpoint(&buf, 17); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh server, restore.
+	srv2 := fixtureServer(t, FedAvg{}, 1)
+	round, err := srv2.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 17 {
+		t.Fatalf("restored round %d", round)
+	}
+	for i := range srv.Global.Params {
+		if !srv.Global.Params[i].AllClose(srv2.Global.Params[i], 0) {
+			t.Fatal("checkpoint weights differ after restore")
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	var buf bytes.Buffer
+	// Write a checkpoint with a different architecture's weights.
+	other := nn.NewNetwork(nn.NewFlatten())
+	_ = other
+	bogus := nn.Weights{}
+	var hdr [8]byte
+	buf.Write(hdr[:])
+	if _, err := bogus.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.LoadCheckpoint(&buf); err == nil {
+		t.Fatal("incompatible checkpoint accepted")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	if _, err := srv.LoadCheckpoint(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

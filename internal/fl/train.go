@@ -1,0 +1,93 @@
+package fl
+
+import (
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/tensor"
+)
+
+// EvalLoss computes the mean loss of the network on ds in inference mode —
+// L_init in Algorithm 1 terms. It handles both single- and multi-label data.
+func EvalLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var total float64
+	for lo := 0; lo < ds.Len(); lo += batch {
+		hi := lo + batch
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		var l float64
+		if ds.Samples[lo].Multi != nil {
+			x, y := ds.BatchMulti(lo, hi)
+			l, _ = loss.Eval(net.Forward(x, false), nn.DenseTarget(y))
+		} else {
+			x, labels := ds.Batch(lo, hi)
+			l, _ = loss.Eval(net.Forward(x, false), nn.ClassTarget(labels))
+		}
+		total += l * float64(hi-lo)
+	}
+	return total / float64(ds.Len())
+}
+
+// StepHook observes/adjusts parameter gradients right before each SGD step;
+// FedProx adds its proximal pull here and SCAFFOLD its control variates.
+type StepHook func(params []*nn.Param)
+
+// BatchHook runs after each SGD step; HeteroSwitch maintains its per-batch
+// SWA average here. batchIdx counts steps from 0 across all epochs.
+type BatchHook func(net *nn.Network, batchIdx int)
+
+// TrainLocal runs cfg.LocalEpochs of minibatch SGD on the client dataset and
+// returns the running mean of batch losses (Algorithm 1's L_train). Batches
+// are reshuffled each epoch from rng. stepHook and batchHook may be nil.
+func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
+	rng *frand.RNG, stepHook StepHook, batchHook BatchHook) float64 {
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	params := net.Params()
+	var lossSum float64
+	batchIdx := 0
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		rng.ShuffleInts(order)
+		shuffled := ds.Subset(order)
+		for lo := 0; lo < shuffled.Len(); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > shuffled.Len() {
+				hi = shuffled.Len()
+			}
+			var l float64
+			if shuffled.Samples[lo].Multi != nil {
+				x, y := shuffled.BatchMulti(lo, hi)
+				out := net.Forward(x, true)
+				var gradT *tensor.Tensor
+				l, gradT = loss.Eval(out, nn.DenseTarget(y))
+				net.Backward(gradT)
+			} else {
+				x, labels := shuffled.Batch(lo, hi)
+				out := net.Forward(x, true)
+				var gradT *tensor.Tensor
+				l, gradT = loss.Eval(out, nn.ClassTarget(labels))
+				net.Backward(gradT)
+			}
+			if stepHook != nil {
+				stepHook(params)
+			}
+			opt.Step(params)
+			if batchHook != nil {
+				batchHook(net, batchIdx)
+			}
+			lossSum += l
+			batchIdx++
+		}
+	}
+	if batchIdx == 0 {
+		return 0
+	}
+	return lossSum / float64(batchIdx)
+}

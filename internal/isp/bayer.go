@@ -1,0 +1,88 @@
+package isp
+
+import "fmt"
+
+// BayerPattern identifies the color filter array layout. Only RGGB is used
+// by the device profiles, but the demosaicers are pattern-generic.
+type BayerPattern int
+
+// Supported CFA patterns.
+const (
+	RGGB BayerPattern = iota
+	BGGR
+	GRBG
+	GBRG
+)
+
+// String implements fmt.Stringer.
+func (p BayerPattern) String() string {
+	switch p {
+	case RGGB:
+		return "RGGB"
+	case BGGR:
+		return "BGGR"
+	case GRBG:
+		return "GRBG"
+	case GBRG:
+		return "GBRG"
+	}
+	return fmt.Sprintf("BayerPattern(%d)", int(p))
+}
+
+// RAW is a single-plane Bayer mosaic as read off a simulated sensor,
+// values nominally in [0,1].
+type RAW struct {
+	W, H    int
+	Pix     []float64
+	Pattern BayerPattern
+}
+
+// NewRAW allocates a zero RAW frame.
+func NewRAW(w, h int, p BayerPattern) *RAW {
+	return &RAW{W: w, H: h, Pix: make([]float64, w*h), Pattern: p}
+}
+
+// Clone deep-copies the frame.
+func (r *RAW) Clone() *RAW {
+	c := &RAW{W: r.W, H: r.H, Pix: make([]float64, len(r.Pix)), Pattern: r.Pattern}
+	copy(c.Pix, r.Pix)
+	return c
+}
+
+// At returns the sample at (x, y).
+func (r *RAW) At(x, y int) float64 { return r.Pix[y*r.W+x] }
+
+// Set writes the sample at (x, y).
+func (r *RAW) Set(x, y int, v float64) { r.Pix[y*r.W+x] = v }
+
+// ColorAt returns which color channel (0=R, 1=G, 2=B) the CFA passes at
+// pixel (x, y).
+func (r *RAW) ColorAt(x, y int) int { return cfaColor(r.Pattern, x, y) }
+
+func cfaColor(p BayerPattern, x, y int) int {
+	// Channel layout of the 2x2 CFA tile, row-major.
+	var tile [4]int
+	switch p {
+	case RGGB:
+		tile = [4]int{0, 1, 1, 2}
+	case BGGR:
+		tile = [4]int{2, 1, 1, 0}
+	case GRBG:
+		tile = [4]int{1, 0, 2, 1}
+	case GBRG:
+		tile = [4]int{1, 2, 0, 1}
+	}
+	return tile[(y&1)*2+(x&1)]
+}
+
+// Mosaic samples a full-color image through the CFA, producing the RAW frame
+// an ideal noiseless sensor would record.
+func Mosaic(im *Image, p BayerPattern) *RAW {
+	r := NewRAW(im.W, im.H, p)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r.Set(x, y, im.At(x, y, cfaColor(p, x, y)))
+		}
+	}
+	return r
+}

@@ -1,0 +1,192 @@
+package isp
+
+import (
+	"math"
+	"sort"
+)
+
+// WBAlg selects the white-balance algorithm (Table 3 "Color transformation").
+type WBAlg int
+
+// White balance variants. Gray-world is the baseline; Option 1 omits the
+// stage; Option 2 is white-patch (max-RGB on a high percentile).
+const (
+	WBGrayWorld WBAlg = iota
+	WBNone
+	WBWhitePatch
+)
+
+// String implements fmt.Stringer.
+func (a WBAlg) String() string {
+	switch a {
+	case WBGrayWorld:
+		return "gray-world"
+	case WBNone:
+		return "none"
+	case WBWhitePatch:
+		return "white-patch"
+	}
+	return "wb?"
+}
+
+// WhiteBalance corrects the illuminant color cast, returning a new image.
+func WhiteBalance(im *Image, alg WBAlg) *Image {
+	switch alg {
+	case WBNone:
+		return im.Clone()
+	case WBWhitePatch:
+		return wbWhitePatch(im)
+	default:
+		return wbGrayWorld(im)
+	}
+}
+
+// wbGrayWorld scales each channel so all channel means equal their average
+// (the gray-world assumption).
+func wbGrayWorld(im *Image) *Image {
+	means := im.ChannelMeans()
+	avg := (means[0] + means[1] + means[2]) / 3
+	out := im.Clone()
+	var gains [3]float64
+	for c := 0; c < 3; c++ {
+		if means[c] > 1e-9 {
+			gains[c] = avg / means[c]
+		} else {
+			gains[c] = 1
+		}
+	}
+	applyGains(out, gains)
+	return out
+}
+
+// wbWhitePatch scales each channel so its 99th percentile maps to the
+// overall 99th percentile (robust max-RGB).
+func wbWhitePatch(im *Image) *Image {
+	n := im.W * im.H
+	var highs [3]float64
+	tmp := make([]float64, n)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < n; i++ {
+			tmp[i] = im.Pix[i*3+c]
+		}
+		sort.Float64s(tmp)
+		highs[c] = tmp[(n*99)/100]
+	}
+	target := math.Max(highs[0], math.Max(highs[1], highs[2]))
+	out := im.Clone()
+	var gains [3]float64
+	for c := 0; c < 3; c++ {
+		if highs[c] > 1e-9 {
+			gains[c] = target / highs[c]
+		} else {
+			gains[c] = 1
+		}
+	}
+	applyGains(out, gains)
+	return out
+}
+
+func applyGains(im *Image, g [3]float64) {
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		for c := 0; c < 3; c++ {
+			im.Pix[i*3+c] = clamp01(im.Pix[i*3+c] * g[c])
+		}
+	}
+}
+
+// ApplyWBGains exposes raw per-channel gain application (used by device ISP
+// presets and by HeteroSwitch's random-WB transformation, eq. 2).
+func ApplyWBGains(im *Image, r, g, b float64) *Image {
+	out := im.Clone()
+	applyGains(out, [3]float64{r, g, b})
+	return out
+}
+
+// GamutAlg selects the gamut mapping (Table 3 row "Gamut mapping").
+type GamutAlg int
+
+// Gamut variants. sRGB is the baseline working gamut (identity for data
+// already in linear sRGB); Option 1 omits the stage; Option 2 re-encodes the
+// primaries as ProPhoto RGB, compressing saturated colors toward neutral.
+const (
+	GamutSRGB GamutAlg = iota
+	GamutNone
+	GamutProPhoto
+)
+
+// String implements fmt.Stringer.
+func (a GamutAlg) String() string {
+	switch a {
+	case GamutSRGB:
+		return "srgb"
+	case GamutNone:
+		return "none"
+	case GamutProPhoto:
+		return "prophoto"
+	}
+	return "gamut?"
+}
+
+// Linear sRGB (D65) to XYZ and its inverse; ProPhoto (D50) matrices. The
+// D65/D50 white-point difference is deliberately retained: it is part of the
+// rendering difference between gamut choices on real devices.
+var (
+	srgbToXYZ = [9]float64{
+		0.4124564, 0.3575761, 0.1804375,
+		0.2126729, 0.7151522, 0.0721750,
+		0.0193339, 0.1191920, 0.9503041,
+	}
+	xyzToProPhoto = [9]float64{
+		1.3459433, -0.2556075, -0.0511118,
+		-0.5445989, 1.5081673, 0.0205351,
+		0.0000000, 0.0000000, 1.2118128,
+	}
+)
+
+// GamutMap converts the image to the selected working gamut.
+func GamutMap(im *Image, alg GamutAlg) *Image {
+	switch alg {
+	case GamutProPhoto:
+		m := matMul3(xyzToProPhoto, srgbToXYZ)
+		out := im.Clone()
+		applyMatrix(out, m)
+		return out
+	default: // sRGB working space and "none" are both identity here.
+		return im.Clone()
+	}
+}
+
+func matMul3(a, b [9]float64) [9]float64 {
+	var out [9]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += a[i*3+k] * b[k*3+j]
+			}
+			out[i*3+j] = s
+		}
+	}
+	return out
+}
+
+func applyMatrix(im *Image, m [9]float64) {
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		r := im.Pix[i*3]
+		g := im.Pix[i*3+1]
+		b := im.Pix[i*3+2]
+		im.Pix[i*3] = clamp01(m[0]*r + m[1]*g + m[2]*b)
+		im.Pix[i*3+1] = clamp01(m[3]*r + m[4]*g + m[5]*b)
+		im.Pix[i*3+2] = clamp01(m[6]*r + m[7]*g + m[8]*b)
+	}
+}
+
+// ApplyColorMatrix applies an arbitrary 3x3 color matrix (used by the sensor
+// model for channel crosstalk).
+func ApplyColorMatrix(im *Image, m [9]float64) *Image {
+	out := im.Clone()
+	applyMatrix(out, m)
+	return out
+}

@@ -1,0 +1,62 @@
+package isp
+
+import (
+	"bytes"
+	"fmt"
+	"image/jpeg"
+)
+
+// CompressAlg selects the compression stage (Table 3 "Image compression").
+type CompressAlg int
+
+// Compression variants. JPEG quality 85 is the baseline; Option 1 omits the
+// stage; Option 2 is JPEG quality 50.
+const (
+	CompressJPEG85 CompressAlg = iota
+	CompressNone
+	CompressJPEG50
+)
+
+// String implements fmt.Stringer.
+func (a CompressAlg) String() string {
+	switch a {
+	case CompressJPEG85:
+		return "jpeg-q85"
+	case CompressNone:
+		return "none"
+	case CompressJPEG50:
+		return "jpeg-q50"
+	}
+	return "compress?"
+}
+
+// Compress runs the image through a real JPEG encode/decode roundtrip at the
+// selected quality, reproducing the block, quantization, and chroma
+// subsampling artefacts the paper attributes to this stage. The error path
+// only triggers on malformed geometry.
+func Compress(im *Image, alg CompressAlg) (*Image, error) {
+	var q int
+	switch alg {
+	case CompressNone:
+		return im.Clone(), nil
+	case CompressJPEG50:
+		q = 50
+	default:
+		q = 85
+	}
+	return JPEGRoundtrip(im, q)
+}
+
+// JPEGRoundtrip encodes the image as JPEG at the given quality using the
+// standard library codec and decodes it back to float.
+func JPEGRoundtrip(im *Image, quality int) (*Image, error) {
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, im.ToNRGBA(), &jpeg.Options{Quality: quality}); err != nil {
+		return nil, fmt.Errorf("isp: jpeg encode: %w", err)
+	}
+	decoded, err := jpeg.Decode(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("isp: jpeg decode: %w", err)
+	}
+	return FromGoImage(decoded), nil
+}

@@ -1,0 +1,217 @@
+package isp
+
+import "math"
+
+// DemosaicAlg selects the demosaicing algorithm (Table 3 row "Demosaicing").
+type DemosaicAlg int
+
+// Demosaic variants. PPG-style gradient-corrected interpolation is the
+// paper's baseline; pixel binning is Option 1; AHD-style edge-directed
+// interpolation is Option 2.
+const (
+	DemosaicPPG DemosaicAlg = iota
+	DemosaicBinning
+	DemosaicAHD
+)
+
+// String implements fmt.Stringer.
+func (a DemosaicAlg) String() string {
+	switch a {
+	case DemosaicPPG:
+		return "ppg"
+	case DemosaicBinning:
+		return "binning"
+	case DemosaicAHD:
+		return "ahd"
+	}
+	return "demosaic?"
+}
+
+// Demosaic reconstructs a full-color image from a Bayer RAW frame.
+func Demosaic(r *RAW, alg DemosaicAlg) *Image {
+	switch alg {
+	case DemosaicBinning:
+		return demosaicBinning(r)
+	case DemosaicAHD:
+		return demosaicAHD(r)
+	default:
+		return demosaicPPG(r)
+	}
+}
+
+// reflect mirrors an out-of-range coordinate back into [0, n). Mirror
+// reflection (without repeating the edge sample) preserves CFA parity for
+// even-sized frames, which keeps demosaicing correct at the borders.
+func reflect(v, n int) int {
+	for v < 0 || v >= n {
+		if v < 0 {
+			v = -v
+		}
+		if v >= n {
+			v = 2*n - 2 - v
+		}
+	}
+	return v
+}
+
+// rawAt reads the RAW with mirror-reflected borders.
+func rawAt(r *RAW, x, y int) float64 {
+	return r.At(reflect(x, r.W), reflect(y, r.H))
+}
+
+// neighborAvg averages the CFA samples of channel c in the (2k+1)² window
+// centred at (x, y), excluding the centre unless it is channel c.
+func neighborAvg(r *RAW, x, y, c, k int) float64 {
+	var sum float64
+	n := 0
+	for dy := -k; dy <= k; dy++ {
+		for dx := -k; dx <= k; dx++ {
+			xx, yy := reflect(x+dx, r.W), reflect(y+dy, r.H)
+			if cfaColor(r.Pattern, xx, yy) == c {
+				sum += r.At(xx, yy)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// demosaicBilinear is the plain per-channel neighborhood average used as the
+// base layer of the fancier variants and exported for RAW-mode training
+// (Section 3.3 trains on demosaic-only data).
+func demosaicBilinear(r *RAW) *Image {
+	im := NewImage(r.W, r.H)
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			site := cfaColor(r.Pattern, x, y)
+			for c := 0; c < 3; c++ {
+				if c == site {
+					im.Set(x, y, c, r.At(x, y))
+				} else {
+					im.Set(x, y, c, neighborAvg(r, x, y, c, 1))
+				}
+			}
+		}
+	}
+	return im
+}
+
+// DemosaicBilinearOnly exposes the minimal bilinear reconstruction, used for
+// the paper's RAW-data experiments where the rest of the ISP is bypassed.
+func DemosaicBilinearOnly(r *RAW) *Image { return demosaicBilinear(r) }
+
+// demosaicPPG approximates Pixel Grouping: bilinear interpolation with a
+// same-channel Laplacian gradient correction (Malvar-style), which is what
+// PPG's pattern classification converges to on smooth regions.
+func demosaicPPG(r *RAW) *Image {
+	im := demosaicBilinear(r)
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			site := cfaColor(r.Pattern, x, y)
+			center := r.At(x, y)
+			// Correct the interpolated green at R/B sites using the local
+			// curvature of the site's own channel.
+			if site != 1 {
+				lap := 4*center - rawAt(r, x-2, y) - rawAt(r, x+2, y) - rawAt(r, x, y-2) - rawAt(r, x, y+2)
+				g := im.At(x, y, 1) + lap/8
+				im.Set(x, y, 1, clamp01(g))
+			}
+		}
+	}
+	return im
+}
+
+// demosaicAHD approximates Adaptive Homogeneity-Directed demosaicing: green
+// is interpolated along the direction of least gradient, then chroma is
+// reconstructed from bilinear color differences.
+func demosaicAHD(r *RAW) *Image {
+	im := NewImage(r.W, r.H)
+	// Pass 1: green plane, edge-directed at non-green sites.
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			if cfaColor(r.Pattern, x, y) == 1 {
+				im.Set(x, y, 1, r.At(x, y))
+				continue
+			}
+			gl, gr := rawAt(r, x-1, y), rawAt(r, x+1, y)
+			gu, gd := rawAt(r, x, y-1), rawAt(r, x, y+1)
+			center := r.At(x, y)
+			gradH := math.Abs(gl-gr) + math.Abs(2*center-rawAt(r, x-2, y)-rawAt(r, x+2, y))
+			gradV := math.Abs(gu-gd) + math.Abs(2*center-rawAt(r, x, y-2)-rawAt(r, x, y+2))
+			var g float64
+			switch {
+			case gradH < gradV:
+				g = (gl + gr) / 2
+			case gradV < gradH:
+				g = (gu + gd) / 2
+			default:
+				g = (gl + gr + gu + gd) / 4
+			}
+			im.Set(x, y, 1, clamp01(g))
+		}
+	}
+	// Pass 2: chroma via color-difference interpolation against green.
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			site := cfaColor(r.Pattern, x, y)
+			for _, c := range []int{0, 2} {
+				if c == site {
+					im.Set(x, y, c, r.At(x, y))
+					continue
+				}
+				// Average the color difference (C - G) over CFA sites of
+				// channel c in the 3x3 neighborhood.
+				var sum float64
+				n := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						xx := reflect(x+dx, r.W)
+						yy := reflect(y+dy, r.H)
+						if cfaColor(r.Pattern, xx, yy) == c {
+							sum += r.At(xx, yy) - im.At(xx, yy, 1)
+							n++
+						}
+					}
+				}
+				if n > 0 {
+					im.Set(x, y, c, clamp01(im.At(x, y, 1)+sum/float64(n)))
+				}
+			}
+		}
+	}
+	return im
+}
+
+// demosaicBinning merges each 2x2 CFA tile into one RGB superpixel at half
+// resolution and bilinearly upsamples back, trading detail for noise — the
+// behaviour of sensor pixel binning.
+func demosaicBinning(r *RAW) *Image {
+	hw, hh := (r.W+1)/2, (r.H+1)/2
+	small := NewImage(hw, hh)
+	for ty := 0; ty < hh; ty++ {
+		for tx := 0; tx < hw; tx++ {
+			var sums [3]float64
+			var counts [3]int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					x, y := tx*2+dx, ty*2+dy
+					if x >= r.W || y >= r.H {
+						continue
+					}
+					c := cfaColor(r.Pattern, x, y)
+					sums[c] += r.At(x, y)
+					counts[c]++
+				}
+			}
+			for c := 0; c < 3; c++ {
+				if counts[c] > 0 {
+					small.Set(tx, ty, c, sums[c]/float64(counts[c]))
+				}
+			}
+		}
+	}
+	return small.Resize(r.W, r.H)
+}

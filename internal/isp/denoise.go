@@ -1,0 +1,200 @@
+package isp
+
+import (
+	"math"
+	"sort"
+)
+
+// DenoiseAlg selects the denoising algorithm (Table 3 row "Denoising").
+type DenoiseAlg int
+
+// Denoise variants. FBDD-style two-pass denoising is the baseline; Option 1
+// omits the stage; Option 2 is wavelet BayesShrink.
+const (
+	DenoiseFBDD DenoiseAlg = iota
+	DenoiseNone
+	DenoiseWavelet
+)
+
+// String implements fmt.Stringer.
+func (a DenoiseAlg) String() string {
+	switch a {
+	case DenoiseFBDD:
+		return "fbdd"
+	case DenoiseNone:
+		return "none"
+	case DenoiseWavelet:
+		return "wavelet-bayesshrink"
+	}
+	return "denoise?"
+}
+
+// Denoise applies the selected denoiser, returning a new image.
+func Denoise(im *Image, alg DenoiseAlg) *Image {
+	switch alg {
+	case DenoiseNone:
+		return im.Clone()
+	case DenoiseWavelet:
+		return denoiseWaveletBayesShrink(im)
+	default:
+		return denoiseFBDD(im)
+	}
+}
+
+// denoiseFBDD approximates FBDD (Fake Before Demosaicing Denoising as used
+// by LibRaw/dcraw): an impulse-suppression pass (median of the 3x3
+// neighborhood when the centre is an outlier) followed by a light Gaussian
+// smoothing of chroma-like high frequencies.
+func denoiseFBDD(im *Image) *Image {
+	out := im.Clone()
+	var window [9]float64
+	for c := 0; c < 3; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				k := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						window[k] = im.At(clampInt(x+dx, 0, im.W-1), clampInt(y+dy, 0, im.H-1), c)
+						k++
+					}
+				}
+				v := im.At(x, y, c)
+				w := window[:]
+				sort.Float64s(w)
+				med := w[4]
+				// Impulse test: centre far outside the local range.
+				if math.Abs(v-med) > 0.15 {
+					out.Set(x, y, c, med)
+				}
+			}
+		}
+	}
+	return gaussian3(out, 0.35)
+}
+
+// gaussian3 applies a 3x3 blur with centre weight (1-a) and the remaining
+// mass a spread over the 8 neighbors — a cheap separable-ish smoother.
+func gaussian3(im *Image, a float64) *Image {
+	out := NewImage(im.W, im.H)
+	side := a / 8
+	for c := 0; c < 3; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var s float64
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						v := im.At(clampInt(x+dx, 0, im.W-1), clampInt(y+dy, 0, im.H-1), c)
+						if dx == 0 && dy == 0 {
+							s += v * (1 - a)
+						} else {
+							s += v * side
+						}
+					}
+				}
+				out.Set(x, y, c, s)
+			}
+		}
+	}
+	return out
+}
+
+// denoiseWaveletBayesShrink performs one level of a 2-D Haar wavelet
+// transform per channel, soft-thresholds the detail coefficients with the
+// BayesShrink threshold T = σ²/σ_x (noise σ estimated from the diagonal
+// subband median), and reconstructs.
+func denoiseWaveletBayesShrink(im *Image) *Image {
+	out := im.Clone()
+	w2, h2 := im.W/2, im.H/2
+	if w2 == 0 || h2 == 0 {
+		return out
+	}
+	ll := make([]float64, w2*h2)
+	lh := make([]float64, w2*h2)
+	hl := make([]float64, w2*h2)
+	hh := make([]float64, w2*h2)
+	for c := 0; c < 3; c++ {
+		// Forward Haar on 2x2 blocks.
+		for y := 0; y < h2; y++ {
+			for x := 0; x < w2; x++ {
+				a := im.At(2*x, 2*y, c)
+				b := im.At(clampInt(2*x+1, 0, im.W-1), 2*y, c)
+				d := im.At(2*x, clampInt(2*y+1, 0, im.H-1), c)
+				e := im.At(clampInt(2*x+1, 0, im.W-1), clampInt(2*y+1, 0, im.H-1), c)
+				i := y*w2 + x
+				ll[i] = (a + b + d + e) / 2
+				lh[i] = (a - b + d - e) / 2
+				hl[i] = (a + b - d - e) / 2
+				hh[i] = (a - b - d + e) / 2
+			}
+		}
+		// BayesShrink threshold from the HH subband.
+		sigma := medianAbs(hh) / 0.6745
+		t := bayesThreshold(hh, sigma)
+		softThreshold(lh, t)
+		softThreshold(hl, t)
+		softThreshold(hh, t)
+		// Inverse Haar.
+		for y := 0; y < h2; y++ {
+			for x := 0; x < w2; x++ {
+				i := y*w2 + x
+				a := (ll[i] + lh[i] + hl[i] + hh[i]) / 2
+				b := (ll[i] - lh[i] + hl[i] - hh[i]) / 2
+				d := (ll[i] + lh[i] - hl[i] - hh[i]) / 2
+				e := (ll[i] - lh[i] - hl[i] + hh[i]) / 2
+				out.Set(2*x, 2*y, c, clamp01(a))
+				if 2*x+1 < im.W {
+					out.Set(2*x+1, 2*y, c, clamp01(b))
+				}
+				if 2*y+1 < im.H {
+					out.Set(2*x, 2*y+1, c, clamp01(d))
+				}
+				if 2*x+1 < im.W && 2*y+1 < im.H {
+					out.Set(2*x+1, 2*y+1, c, clamp01(e))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func medianAbs(v []float64) float64 {
+	tmp := make([]float64, len(v))
+	for i, x := range v {
+		tmp[i] = math.Abs(x)
+	}
+	sort.Float64s(tmp)
+	return tmp[len(tmp)/2]
+}
+
+// bayesThreshold computes σ²/σ_x where σ_x² = max(var(subband) - σ², 0).
+func bayesThreshold(sub []float64, sigma float64) float64 {
+	var sumsq float64
+	for _, v := range sub {
+		sumsq += v * v
+	}
+	varY := sumsq / float64(len(sub))
+	varX := varY - sigma*sigma
+	if varX <= 1e-12 {
+		return math.Inf(1) // kill the whole subband: it is all noise
+	}
+	return sigma * sigma / math.Sqrt(varX)
+}
+
+func softThreshold(v []float64, t float64) {
+	if math.IsInf(t, 1) {
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	for i, x := range v {
+		switch {
+		case x > t:
+			v[i] = x - t
+		case x < -t:
+			v[i] = x + t
+		default:
+			v[i] = 0
+		}
+	}
+}

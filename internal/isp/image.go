@@ -1,0 +1,220 @@
+// Package isp implements the six-stage image signal processing pipeline the
+// paper characterizes (Table 3): demosaicing, denoising, white balance,
+// gamut mapping, tone transformation, and JPEG compression, each with the
+// paper's Baseline / Option 1 / Option 2 algorithm variants.
+//
+// Images are float64 interleaved RGB with nominal range [0,1]; RAW frames
+// are single-plane Bayer mosaics. Working in linear float keeps the stage
+// implementations faithful to real ISP math and leaves quantization effects
+// to the sensor model and the JPEG stage.
+package isp
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"heteroswitch/internal/tensor"
+)
+
+// Image is an interleaved RGB float image. Pixel (x, y) channel c lives at
+// Pix[(y*W+x)*3+c]. Values are nominally in [0,1] but stages may transiently
+// exceed that range; Clamp restores it.
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, w*h*3)}
+}
+
+// Clone deep-copies the image.
+func (im *Image) Clone() *Image {
+	c := &Image{W: im.W, H: im.H, Pix: make([]float64, len(im.Pix))}
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// At returns channel c of pixel (x, y).
+func (im *Image) At(x, y, c int) float64 { return im.Pix[(y*im.W+x)*3+c] }
+
+// Set writes channel c of pixel (x, y).
+func (im *Image) Set(x, y, c int, v float64) { im.Pix[(y*im.W+x)*3+c] = v }
+
+// Clamp limits all values into [0, 1].
+func (im *Image) Clamp() {
+	for i, v := range im.Pix {
+		if v < 0 {
+			im.Pix[i] = 0
+		} else if v > 1 {
+			im.Pix[i] = 1
+		}
+	}
+}
+
+// ChannelMeans returns the per-channel means (used by gray-world WB and by
+// tests asserting color-cast behaviour).
+func (im *Image) ChannelMeans() [3]float64 {
+	var sums [3]float64
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		for c := 0; c < 3; c++ {
+			sums[c] += im.Pix[i*3+c]
+		}
+	}
+	for c := range sums {
+		sums[c] /= float64(n)
+	}
+	return sums
+}
+
+// Luma returns the Rec.601 luma of pixel index i.
+func (im *Image) Luma(i int) float64 {
+	return 0.299*im.Pix[i*3] + 0.587*im.Pix[i*3+1] + 0.114*im.Pix[i*3+2]
+}
+
+// ToTensor converts the image to a [3, H, W] CHW tensor.
+func (im *Image) ToTensor() *tensor.Tensor {
+	t := tensor.New(3, im.H, im.W)
+	d := t.Data()
+	hw := im.W * im.H
+	for i := 0; i < hw; i++ {
+		for c := 0; c < 3; c++ {
+			d[c*hw+i] = float32(im.Pix[i*3+c])
+		}
+	}
+	return t
+}
+
+// FromTensor converts a [3, H, W] tensor back into an Image.
+func FromTensor(t *tensor.Tensor) (*Image, error) {
+	if t.NDim() != 3 || t.Dim(0) != 3 {
+		return nil, fmt.Errorf("isp: FromTensor wants [3 H W], have %v", t.Shape())
+	}
+	h, w := t.Dim(1), t.Dim(2)
+	im := NewImage(w, h)
+	d := t.Data()
+	hw := w * h
+	for i := 0; i < hw; i++ {
+		for c := 0; c < 3; c++ {
+			im.Pix[i*3+c] = float64(d[c*hw+i])
+		}
+	}
+	return im, nil
+}
+
+// ToNRGBA converts to an 8-bit standard-library image (values clamped).
+func (im *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := (y*im.W + x) * 3
+			out.SetNRGBA(x, y, color.NRGBA{
+				R: to8(im.Pix[i]),
+				G: to8(im.Pix[i+1]),
+				B: to8(im.Pix[i+2]),
+				A: 255,
+			})
+		}
+	}
+	return out
+}
+
+// FromGoImage converts any stdlib image into a float Image.
+func FromGoImage(src image.Image) *Image {
+	b := src.Bounds()
+	im := NewImage(b.Dx(), b.Dy())
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, bl, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			i := (y*im.W + x) * 3
+			im.Pix[i] = float64(r) / 65535
+			im.Pix[i+1] = float64(g) / 65535
+			im.Pix[i+2] = float64(bl) / 65535
+		}
+	}
+	return im
+}
+
+func to8(v float64) uint8 {
+	v = math.Round(v * 255)
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// Resize bilinearly resamples the image to (w, h).
+func (im *Image) Resize(w, h int) *Image {
+	if w == im.W && h == im.H {
+		return im.Clone()
+	}
+	out := NewImage(w, h)
+	sx := float64(im.W) / float64(w)
+	sy := float64(im.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		ty := fy - float64(y0)
+		y1 := y0 + 1
+		y0 = clampInt(y0, 0, im.H-1)
+		y1 = clampInt(y1, 0, im.H-1)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			tx := fx - float64(x0)
+			x1 := x0 + 1
+			x0 = clampInt(x0, 0, im.W-1)
+			x1 = clampInt(x1, 0, im.W-1)
+			for c := 0; c < 3; c++ {
+				v00 := im.At(x0, y0, c)
+				v10 := im.At(x1, y0, c)
+				v01 := im.At(x0, y1, c)
+				v11 := im.At(x1, y1, c)
+				top := v00 + (v10-v00)*tx
+				bot := v01 + (v11-v01)*tx
+				out.Set(x, y, c, top+(bot-top)*ty)
+			}
+		}
+	}
+	return out
+}
+
+// MSE returns the mean squared error between two same-sized images.
+func (im *Image) MSE(o *Image) float64 {
+	if len(im.Pix) != len(o.Pix) {
+		panic("isp: MSE size mismatch")
+	}
+	var s float64
+	for i := range im.Pix {
+		d := im.Pix[i] - o.Pix[i]
+		s += d * d
+	}
+	return s / float64(len(im.Pix))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+package isp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heteroswitch/internal/frand"
+)
+
+// Property: the full baseline pipeline keeps every output value in [0,1]
+// and preserves geometry, for arbitrary random scenes.
+func TestPipelineRangeProperty(t *testing.T) {
+	pipe := Baseline()
+	f := func(seed uint16) bool {
+		r := frand.New(uint64(seed))
+		im := NewImage(16, 16)
+		for i := range im.Pix {
+			im.Pix[i] = r.Float64()
+		}
+		raw := Mosaic(im, RGGB)
+		out, err := pipe.Process(raw)
+		if err != nil || out.W != 16 || out.H != 16 {
+			return false
+		}
+		for _, v := range out.Pix {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gray-world WB is idempotent — applying it twice equals once
+// (the second pass sees already-equalized channel means).
+func TestGrayWorldIdempotentProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := frand.New(uint64(seed) + 3)
+		im := NewImage(12, 12)
+		for i := range im.Pix {
+			im.Pix[i] = 0.1 + 0.8*r.Float64()
+		}
+		once := WhiteBalance(im, WBGrayWorld)
+		twice := WhiteBalance(once, WBGrayWorld)
+		return twice.MSE(once) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every demosaicer is deterministic and bounded on random RAW
+// frames.
+func TestDemosaicBoundedProperty(t *testing.T) {
+	f := func(seed uint16, algRaw uint8) bool {
+		alg := DemosaicAlg(int(algRaw) % 3)
+		r := frand.New(uint64(seed) + 11)
+		raw := NewRAW(14, 14, RGGB)
+		for i := range raw.Pix {
+			raw.Pix[i] = r.Float64()
+		}
+		a := Demosaic(raw, alg)
+		b := Demosaic(raw, alg)
+		if a.MSE(b) != 0 {
+			return false
+		}
+		for _, v := range a.Pix {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mosaicing a demosaiced constant frame is lossless (the CFA
+// samples of a constant image survive the roundtrip exactly).
+func TestMosaicDemosaicConstantFixpoint(t *testing.T) {
+	f := func(rv, gv, bv uint8) bool {
+		im := NewImage(8, 8)
+		cols := [3]float64{float64(rv) / 255, float64(gv) / 255, float64(bv) / 255}
+		for i := 0; i < 64; i++ {
+			for c := 0; c < 3; c++ {
+				im.Pix[i*3+c] = cols[c]
+			}
+		}
+		raw := Mosaic(im, RGGB)
+		rec := Demosaic(raw, DemosaicPPG)
+		raw2 := Mosaic(rec, RGGB)
+		for i := range raw.Pix {
+			if diff := raw.Pix[i] - raw2.Pix[i]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package isp
+
+import "math"
+
+// ToneAlg selects the tone transformation (Table 3 "Tone transformation").
+type ToneAlg int
+
+// Tone variants. sRGB gamma encoding is the baseline; Option 1 omits the
+// stage (leaving linear data); Option 2 adds tone equalization on top of the
+// gamma encode.
+const (
+	ToneSRGBGamma ToneAlg = iota
+	ToneNone
+	ToneSRGBGammaEq
+)
+
+// String implements fmt.Stringer.
+func (a ToneAlg) String() string {
+	switch a {
+	case ToneSRGBGamma:
+		return "srgb-gamma"
+	case ToneNone:
+		return "none"
+	case ToneSRGBGammaEq:
+		return "srgb-gamma+equalize"
+	}
+	return "tone?"
+}
+
+// SRGBEncode applies the standard piecewise sRGB opto-electronic transfer
+// function to a linear value in [0,1].
+func SRGBEncode(v float64) float64 {
+	if v <= 0.0031308 {
+		return 12.92 * v
+	}
+	return 1.055*math.Pow(v, 1/2.4) - 0.055
+}
+
+// SRGBDecode inverts SRGBEncode.
+func SRGBDecode(v float64) float64 {
+	if v <= 0.04045 {
+		return v / 12.92
+	}
+	return math.Pow((v+0.055)/1.055, 2.4)
+}
+
+// ToneTransform applies the selected tone curve, returning a new image.
+func ToneTransform(im *Image, alg ToneAlg) *Image {
+	switch alg {
+	case ToneNone:
+		return im.Clone()
+	case ToneSRGBGammaEq:
+		g := applySRGB(im)
+		return equalizeTone(g, 0.5)
+	default:
+		return applySRGB(im)
+	}
+}
+
+func applySRGB(im *Image) *Image {
+	out := im.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = SRGBEncode(clamp01(v))
+	}
+	return out
+}
+
+// equalizeTone blends each pixel's luma toward its histogram-equalized value
+// with strength `amount`, preserving chroma ratios — a simple global tone
+// equalization as bundled with camera "auto contrast" modes.
+func equalizeTone(im *Image, amount float64) *Image {
+	const bins = 256
+	n := im.W * im.H
+	var hist [bins]int
+	for i := 0; i < n; i++ {
+		b := int(clamp01(im.Luma(i)) * (bins - 1))
+		hist[b]++
+	}
+	var cdf [bins]float64
+	acc := 0
+	for b := 0; b < bins; b++ {
+		acc += hist[b]
+		cdf[b] = float64(acc) / float64(n)
+	}
+	out := im.Clone()
+	for i := 0; i < n; i++ {
+		l := clamp01(im.Luma(i))
+		eq := cdf[int(l*(bins-1))]
+		target := l + (eq-l)*amount
+		if l > 1e-9 {
+			scale := target / l
+			for c := 0; c < 3; c++ {
+				out.Pix[i*3+c] = clamp01(im.Pix[i*3+c] * scale)
+			}
+		} else {
+			for c := 0; c < 3; c++ {
+				out.Pix[i*3+c] = target
+			}
+		}
+	}
+	return out
+}
+
+// ApplyGamma raises every channel value to the given exponent (used by the
+// device tone presets and HeteroSwitch's random gamma transform, eq. 3).
+func ApplyGamma(im *Image, gamma float64) *Image {
+	out := im.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = math.Pow(clamp01(v), gamma)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/tensor"
+)
+
+func TestMeanVarianceWorst(t *testing.T) {
+	vs := []float64{2, 4, 6}
+	if Mean(vs) != 4 {
+		t.Fatalf("Mean = %v", Mean(vs))
+	}
+	if math.Abs(Variance(vs)-8.0/3) > 1e-12 {
+		t.Fatalf("Variance = %v", Variance(vs))
+	}
+	if Worst(vs) != 2 {
+		t.Fatalf("Worst = %v", Worst(vs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Worst(nil) != 0 {
+		t.Fatal("empty input should yield zeros")
+	}
+	if Std([]float64{1, 1, 1}) != 0 {
+		t.Fatal("Std of constants should be 0")
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	if d := Degradation(0.8, 0.6); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("Degradation = %v, want 0.25", d)
+	}
+	if Degradation(0, 0.5) != 0 {
+		t.Fatal("zero reference should yield 0")
+	}
+	if Degradation(0.5, 0.6) >= 0 {
+		t.Fatal("improvement should be negative degradation")
+	}
+}
+
+func TestValuesOrdered(t *testing.T) {
+	m := map[int]float64{2: 0.2, 0: 0.0, 1: 0.1}
+	vs := Values(m)
+	if len(vs) != 3 || vs[0] != 0 || vs[1] != 0.1 || vs[2] != 0.2 {
+		t.Fatalf("Values = %v", vs)
+	}
+}
+
+func TestAveragePrecisionPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	rel := []bool{true, true, false, false}
+	if ap := AveragePrecision(scores, rel); ap != 1 {
+		t.Fatalf("perfect ranking AP = %v", ap)
+	}
+}
+
+func TestAveragePrecisionWorstRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	rel := []bool{true, true, false, false}
+	// Positives at ranks 3 and 4: AP = (1/3 + 2/4)/2 = 5/12.
+	if ap := AveragePrecision(scores, rel); math.Abs(ap-5.0/12) > 1e-12 {
+		t.Fatalf("worst ranking AP = %v, want %v", ap, 5.0/12)
+	}
+}
+
+func TestAveragePrecisionNoPositives(t *testing.T) {
+	if ap := AveragePrecision([]float64{1, 2}, []bool{false, false}); ap != 0 {
+		t.Fatalf("AP without positives = %v", ap)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	scores := tensor.FromSlice([]float32{
+		0.9, 0.1,
+		0.8, 0.9,
+		0.1, 0.8,
+	}, 3, 2)
+	labels := tensor.FromSlice([]float32{
+		1, 0,
+		1, 1,
+		0, 1,
+	}, 3, 2)
+	if m := MeanAveragePrecision(scores, labels); m != 1 {
+		t.Fatalf("mAP = %v, want 1 for consistent rankings", m)
+	}
+	// A class with zero positives is skipped, not counted as zero.
+	labels2 := tensor.FromSlice([]float32{1, 0, 1, 0, 0, 0}, 3, 2)
+	if m := MeanAveragePrecision(scores, labels2); m != 1 {
+		t.Fatalf("mAP with empty class = %v", m)
+	}
+}
+
+func TestMeanAbsRelDeviation(t *testing.T) {
+	pred := []float64{90, 110}
+	truth := []float64{100, 100}
+	if d := MeanAbsRelDeviation(pred, truth); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("deviation = %v, want 0.1", d)
+	}
+	if d := MeanAbsRelDeviation([]float64{5}, []float64{0}); d != 0 {
+		t.Fatal("non-positive truth entries must be skipped")
+	}
+}
+
+// biasedDataset builds a dataset where class = 1 iff the mean pixel exceeds
+// 0.5, plus a network that a quick training run can fit, to test Accuracy.
+func makeEvalFixture() (*nn.Network, *dataset.Dataset) {
+	r := frand.New(5)
+	ds := &dataset.Dataset{NumClasses: 2}
+	for i := 0; i < 30; i++ {
+		x := tensor.New(1, 4, 4)
+		label := i % 2
+		base := float32(0.2)
+		if label == 1 {
+			base = 0.8
+		}
+		for j := range x.Data() {
+			x.Data()[j] = base + float32(r.NormFloat64()*0.02)
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{X: x, Label: label, Device: i % 2})
+	}
+	net := nn.NewNetwork(
+		nn.NewFlatten(),
+		nn.NewDense(r, 16, 2),
+	)
+	opt := nn.NewSGD(0.5, 0, 0)
+	for e := 0; e < 30; e++ {
+		x, labels := ds.Batch(0, ds.Len())
+		out := net.Forward(x, true)
+		_, grad := nn.SoftmaxCrossEntropy{}.Eval(out, nn.ClassTarget(labels))
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	return net, ds
+}
+
+func TestAccuracyOnLearnableProblem(t *testing.T) {
+	net, ds := makeEvalFixture()
+	acc := Accuracy(net, ds, 7) // odd batch exercises the remainder path
+	if acc < 0.95 {
+		t.Fatalf("accuracy %v on trivially separable data", acc)
+	}
+}
+
+func TestPerDeviceAccuracy(t *testing.T) {
+	net, ds := makeEvalFixture()
+	per := PerDeviceAccuracy(net, ds, 8)
+	if len(per) != 2 {
+		t.Fatalf("expected 2 device groups, got %d", len(per))
+	}
+	for dev, acc := range per {
+		if acc < 0.9 {
+			t.Fatalf("device %d accuracy %v", dev, acc)
+		}
+	}
+}
+
+func TestMeanLoss(t *testing.T) {
+	net, ds := makeEvalFixture()
+	l := MeanLoss(net, nn.SoftmaxCrossEntropy{}, ds, 8)
+	if l <= 0 || l > 1 {
+		t.Fatalf("mean loss %v implausible for a fitted model", l)
+	}
+	if MeanLoss(net, nn.SoftmaxCrossEntropy{}, &dataset.Dataset{NumClasses: 2}, 8) != 0 {
+		t.Fatal("empty dataset loss should be 0")
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	net, _ := makeEvalFixture()
+	if Accuracy(net, &dataset.Dataset{NumClasses: 2}, 4) != 0 {
+		t.Fatal("empty dataset accuracy should be 0")
+	}
+}

@@ -1,0 +1,177 @@
+package models
+
+import (
+	"testing"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/tensor"
+)
+
+func forwardShape(t *testing.T, net *nn.Network, inC, classes int) {
+	t.Helper()
+	r := frand.New(2)
+	x := tensor.Randn(r, 1, 3, inC, 32, 32)
+	y := net.Forward(x, false)
+	if y.Dim(0) != 3 || y.Dim(1) != classes {
+		t.Fatalf("output shape %v, want [3 %d]", y.Shape(), classes)
+	}
+	if y.HasNaN() {
+		t.Fatal("forward produced NaN")
+	}
+}
+
+func trainStepWorks(t *testing.T, net *nn.Network, inC, classes int) {
+	t.Helper()
+	r := frand.New(3)
+	x := tensor.Randn(r, 1, 4, inC, 32, 32)
+	labels := []int{0, 1, 2 % classes, 0}
+	out := net.Forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy{}.Eval(out, nn.ClassTarget(labels))
+	if loss <= 0 {
+		t.Fatalf("implausible loss %v", loss)
+	}
+	net.Backward(grad)
+	opt := nn.NewSGD(0.01, 0, 0)
+	opt.Step(net.Params())
+	out2 := net.Forward(x, true)
+	if out2.HasNaN() {
+		t.Fatal("NaN after one training step")
+	}
+}
+
+func TestTinyMobileNetV3(t *testing.T) {
+	net := TinyMobileNetV3(frand.New(1), 3, 12)
+	forwardShape(t, net, 3, 12)
+	trainStepWorks(t, net, 3, 12)
+}
+
+func TestTinyShuffleNetV2(t *testing.T) {
+	net := TinyShuffleNetV2(frand.New(1), 3, 12)
+	forwardShape(t, net, 3, 12)
+	trainStepWorks(t, net, 3, 12)
+}
+
+func TestTinySqueezeNet(t *testing.T) {
+	net := TinySqueezeNet(frand.New(1), 3, 12)
+	forwardShape(t, net, 3, 12)
+	trainStepWorks(t, net, 3, 12)
+}
+
+func TestSimpleCNN(t *testing.T) {
+	net := SimpleCNN(frand.New(1), 3, 20)
+	forwardShape(t, net, 3, 20)
+	trainStepWorks(t, net, 3, 20)
+}
+
+func TestMLPRegressor(t *testing.T) {
+	net := MLPRegressor(frand.New(1), 64, []int{32, 16}, 1)
+	r := frand.New(2)
+	x := tensor.Randn(r, 1, 5, 64)
+	y := net.Forward(x, false)
+	if y.Dim(0) != 5 || y.Dim(1) != 1 {
+		t.Fatalf("MLP output shape %v", y.Shape())
+	}
+}
+
+func TestBuilderDeterministic(t *testing.T) {
+	for _, arch := range []Arch{ArchMobileNet, ArchShuffleNet, ArchSqueezeNet, ArchSimpleCNN} {
+		b, err := BuilderFor(arch, 7, 3, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n1, n2 := b(), b()
+		p1, p2 := n1.Params(), n2.Params()
+		if len(p1) != len(p2) {
+			t.Fatalf("%s: param count differs between builds", arch)
+		}
+		for i := range p1 {
+			if !p1[i].W.AllClose(p2[i].W, 0) {
+				t.Fatalf("%s: param %d differs between builds", arch, i)
+			}
+		}
+	}
+}
+
+func TestBuilderUnknownArch(t *testing.T) {
+	if _, err := BuilderFor("no-such-net", 1, 3, 12); err == nil {
+		t.Fatal("expected error for unknown architecture")
+	}
+}
+
+func TestWeightsTransferAcrossBuilds(t *testing.T) {
+	b, _ := BuilderFor(ArchMobileNet, 11, 3, 12)
+	n1 := b()
+	n2 := b()
+	// Perturb n1, snapshot, load into n2, confirm identical outputs.
+	n1.Params()[0].W.AddScalar(0.1)
+	if err := n2.LoadWeights(n1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(5)
+	x := tensor.Randn(r, 1, 2, 3, 32, 32)
+	if !n1.Forward(x, false).AllClose(n2.Forward(x, false), 1e-6) {
+		t.Fatal("weight transfer did not reproduce outputs")
+	}
+}
+
+func TestParamCountsReasonable(t *testing.T) {
+	cases := []struct {
+		name     string
+		net      *nn.Network
+		min, max int
+	}{
+		{"mobilenet", TinyMobileNetV3(frand.New(1), 3, 12), 2000, 100000},
+		{"shufflenet", TinyShuffleNetV2(frand.New(1), 3, 12), 1500, 100000},
+		{"squeezenet", TinySqueezeNet(frand.New(1), 3, 12), 1000, 100000},
+		{"simplecnn", SimpleCNN(frand.New(1), 3, 20), 5000, 500000},
+	}
+	for _, c := range cases {
+		n := c.net.NumParams()
+		if n < c.min || n > c.max {
+			t.Errorf("%s has %d params, want in [%d,%d]", c.name, n, c.min, c.max)
+		}
+	}
+}
+
+func BenchmarkMobileNetForward(b *testing.B) {
+	net := TinyMobileNetV3(frand.New(1), 3, 12)
+	x := tensor.Randn(frand.New(2), 1, 10, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkShuffleNetForward(b *testing.B) {
+	net := TinyShuffleNetV2(frand.New(1), 3, 12)
+	x := tensor.Randn(frand.New(2), 1, 10, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func TestECGConvNet(t *testing.T) {
+	net := ECGConvNet(frand.New(1), 256)
+	r := frand.New(2)
+	x := tensor.Randn(r, 1, 5, 256)
+	y := net.Forward(x, false)
+	if y.Dim(0) != 5 || y.Dim(1) != 1 {
+		t.Fatalf("ECG net output %v", y.Shape())
+	}
+	// One training step must run without NaN.
+	out := net.Forward(x, true)
+	target := tensor.New(5, 1)
+	target.Fill(0.4)
+	loss, grad := nn.MSE{}.Eval(out, nn.DenseTarget(target))
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+	net.Backward(grad)
+	opt := nn.NewSGD(0.01, 0, 0)
+	opt.Step(net.Params())
+	if net.Forward(x, true).HasNaN() {
+		t.Fatal("NaN after step")
+	}
+}

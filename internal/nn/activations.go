@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"math"
+
+	"heteroswitch/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative elements.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	d := y.Data()
+	if cap(l.mask) < len(d) {
+		l.mask = make([]bool, len(d))
+	}
+	l.mask = l.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward passes gradient only where the input was positive.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	d := g.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] = 0
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *ReLU) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return "ReLU" }
+
+// HardSigmoid computes clip((x+3)/6, 0, 1), MobileNetV3's cheap sigmoid.
+type HardSigmoid struct {
+	x *tensor.Tensor
+}
+
+// NewHardSigmoid returns a HardSigmoid layer.
+func NewHardSigmoid() *HardSigmoid { return &HardSigmoid{} }
+
+// Forward implements Layer.
+func (l *HardSigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	y := x.Clone()
+	d := y.Data()
+	for i, v := range d {
+		d[i] = hardSigmoid(v)
+	}
+	return y
+}
+
+func hardSigmoid(v float32) float32 {
+	s := (v + 3) / 6
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Backward implements Layer: derivative is 1/6 inside (-3, 3), else 0.
+func (l *HardSigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	gd, xd := g.Data(), l.x.Data()
+	for i := range gd {
+		if xd[i] > -3 && xd[i] < 3 {
+			gd[i] /= 6
+		} else {
+			gd[i] = 0
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *HardSigmoid) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *HardSigmoid) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *HardSigmoid) Name() string { return "HardSigmoid" }
+
+// HardSwish computes x * hardSigmoid(x), the MobileNetV3 activation.
+type HardSwish struct {
+	x *tensor.Tensor
+}
+
+// NewHardSwish returns a HardSwish layer.
+func NewHardSwish() *HardSwish { return &HardSwish{} }
+
+// Forward implements Layer.
+func (l *HardSwish) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	y := x.Clone()
+	d := y.Data()
+	for i, v := range d {
+		d[i] = v * hardSigmoid(v)
+	}
+	return y
+}
+
+// Backward implements Layer. d/dx [x·hs(x)] = hs(x) + x·hs'(x).
+func (l *HardSwish) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	gd, xd := g.Data(), l.x.Data()
+	for i := range gd {
+		v := xd[i]
+		der := hardSigmoid(v)
+		if v > -3 && v < 3 {
+			der += v / 6
+		}
+		gd[i] *= der
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *HardSwish) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *HardSwish) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *HardSwish) Name() string { return "HardSwish" }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	d := y.Data()
+	for i, v := range d {
+		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	l.y = y
+	return y
+}
+
+// Backward implements Layer: dx = dy · y(1-y).
+func (l *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	gd, yd := g.Data(), l.y.Data()
+	for i := range gd {
+		gd[i] *= yd[i] * (1 - yd[i])
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *Sigmoid) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Sigmoid) Name() string { return "Sigmoid" }

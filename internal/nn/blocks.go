@@ -1,0 +1,374 @@
+package nn
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/tensor"
+)
+
+// Identity passes its input through unchanged. Useful as the pass-through
+// branch of Parallel blocks.
+type Identity struct{}
+
+// NewIdentity returns an identity layer.
+func NewIdentity() *Identity { return &Identity{} }
+
+// Forward implements Layer.
+func (l *Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward implements Layer.
+func (l *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params implements Layer.
+func (l *Identity) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *Identity) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Identity) Name() string { return "Identity" }
+
+// Residual computes y = Body(x) + Proj(x). Proj defaults to identity when
+// nil; supply a 1x1 conv (+BN) projection when the body changes shape.
+type Residual struct {
+	Body Layer
+	Proj Layer
+}
+
+// NewResidual builds a residual block.
+func NewResidual(body, proj Layer) *Residual {
+	if proj == nil {
+		proj = NewIdentity()
+	}
+	return &Residual{Body: body, Proj: proj}
+}
+
+// Forward implements Layer.
+func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := l.Body.Forward(x, train)
+	s := l.Proj.Forward(x, train)
+	if !y.SameShape(s) {
+		panic(fmt.Sprintf("nn: Residual shape mismatch %v vs %v", y.Shape(), s.Shape()))
+	}
+	out := y.Clone()
+	out.AddInPlace(s)
+	return out
+}
+
+// Backward implements Layer.
+func (l *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := l.Body.Backward(grad)
+	ds := l.Proj.Backward(grad)
+	out := dx.Clone()
+	out.AddInPlace(ds)
+	return out
+}
+
+// Params implements Layer.
+func (l *Residual) Params() []*Param { return append(l.Body.Params(), l.Proj.Params()...) }
+
+// States implements Layer.
+func (l *Residual) States() []*tensor.Tensor { return append(l.Body.States(), l.Proj.States()...) }
+
+// Name implements Layer.
+func (l *Residual) Name() string { return "Residual(" + l.Body.Name() + ")" }
+
+// Parallel runs branches side by side and concatenates their outputs along
+// the channel dimension.
+//
+// With SplitInput=false every branch receives the full input (SqueezeNet
+// fire expansion). With SplitInput=true the input channels are divided
+// evenly among the branches (ShuffleNetV2 basic unit).
+type Parallel struct {
+	Branches   []Layer
+	SplitInput bool
+	inC        int
+	outCs      []int
+}
+
+// NewParallel builds a parallel block.
+func NewParallel(splitInput bool, branches ...Layer) *Parallel {
+	return &Parallel{Branches: branches, SplitInput: splitInput}
+}
+
+// Forward implements Layer.
+func (l *Parallel) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c := x.Dim(0), x.Dim(1)
+	l.inC = c
+	nb := len(l.Branches)
+	inputs := make([]*tensor.Tensor, nb)
+	if l.SplitInput {
+		if c%nb != 0 {
+			panic(fmt.Sprintf("nn: Parallel split %d channels across %d branches", c, nb))
+		}
+		per := c / nb
+		for i := range inputs {
+			inputs[i] = sliceChannels(x, i*per, (i+1)*per)
+		}
+	} else {
+		for i := range inputs {
+			inputs[i] = x
+		}
+	}
+	outs := make([]*tensor.Tensor, nb)
+	l.outCs = make([]int, nb)
+	totalC := 0
+	for i, b := range l.Branches {
+		outs[i] = b.Forward(inputs[i], train)
+		l.outCs[i] = outs[i].Dim(1)
+		totalC += l.outCs[i]
+	}
+	oh, ow := outs[0].Dim(2), outs[0].Dim(3)
+	out := tensor.New(n, totalC, oh, ow)
+	at := 0
+	for _, o := range outs {
+		if o.Dim(2) != oh || o.Dim(3) != ow {
+			panic("nn: Parallel branches disagree on spatial size")
+		}
+		copyChannels(out, o, at)
+		at += o.Dim(1)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Parallel) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	nb := len(l.Branches)
+	at := 0
+	grads := make([]*tensor.Tensor, nb)
+	for i := range l.Branches {
+		grads[i] = sliceChannels(grad, at, at+l.outCs[i])
+		at += l.outCs[i]
+	}
+	if l.SplitInput {
+		per := l.inC / nb
+		var h, w int
+		dxs := make([]*tensor.Tensor, nb)
+		for i, b := range l.Branches {
+			dxs[i] = b.Backward(grads[i])
+			h, w = dxs[i].Dim(2), dxs[i].Dim(3)
+		}
+		dx := tensor.New(n, l.inC, h, w)
+		for i, d := range dxs {
+			copyChannels(dx, d, i*per)
+		}
+		return dx
+	}
+	var dx *tensor.Tensor
+	for i, b := range l.Branches {
+		d := b.Backward(grads[i])
+		if dx == nil {
+			dx = d.Clone()
+		} else {
+			dx.AddInPlace(d)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Parallel) Params() []*Param {
+	var out []*Param
+	for _, b := range l.Branches {
+		out = append(out, b.Params()...)
+	}
+	return out
+}
+
+// States implements Layer.
+func (l *Parallel) States() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, b := range l.Branches {
+		out = append(out, b.States()...)
+	}
+	return out
+}
+
+// Name implements Layer.
+func (l *Parallel) Name() string { return fmt.Sprintf("Parallel(%d branches)", len(l.Branches)) }
+
+// sliceChannels copies channels [lo,hi) of an NCHW tensor into a new tensor.
+func sliceChannels(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, hi-lo, h, w)
+	hw := h * w
+	xd, od := x.Data(), out.Data()
+	per := hi - lo
+	for i := 0; i < n; i++ {
+		src := xd[(i*c+lo)*hw : (i*c+hi)*hw]
+		dst := od[i*per*hw : (i+1)*per*hw]
+		copy(dst, src)
+	}
+	return out
+}
+
+// copyChannels writes src into dst starting at channel offset `at`.
+func copyChannels(dst, src *tensor.Tensor, at int) {
+	n, dc, h, w := dst.Dim(0), dst.Dim(1), dst.Dim(2), dst.Dim(3)
+	sc := src.Dim(1)
+	hw := h * w
+	dd, sd := dst.Data(), src.Data()
+	for i := 0; i < n; i++ {
+		copy(dd[(i*dc+at)*hw:(i*dc+at+sc)*hw], sd[i*sc*hw:(i+1)*sc*hw])
+	}
+}
+
+// SEBlock is a squeeze-and-excitation channel attention block:
+// s = GlobalAvgPool(x); z = hsig(W2·relu(W1·s)); y = x ⊙ z (per channel).
+type SEBlock struct {
+	C, Hidden int
+	fc1, fc2  *Dense
+	relu      *ReLU
+	hsig      *HardSigmoid
+	x         *tensor.Tensor
+	z         *tensor.Tensor
+}
+
+// NewSEBlock builds a squeeze-excite block with the given reduction hidden
+// width (typically C/4).
+func NewSEBlock(r *frand.RNG, c, hidden int) *SEBlock {
+	return &SEBlock{
+		C: c, Hidden: hidden,
+		fc1:  NewDense(r, c, hidden),
+		fc2:  NewDense(r, hidden, c),
+		relu: NewReLU(),
+		hsig: NewHardSigmoid(),
+	}
+}
+
+// Forward implements Layer.
+func (l *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != l.C {
+		panic(fmt.Sprintf("nn: SEBlock channels %d, want %d", c, l.C))
+	}
+	l.x = x
+	hw := h * w
+	s := tensor.New(n, c)
+	xd, sd := x.Data(), s.Data()
+	inv := 1 / float32(hw)
+	for i := 0; i < n*c; i++ {
+		var sum float32
+		for j := 0; j < hw; j++ {
+			sum += xd[i*hw+j]
+		}
+		sd[i] = sum * inv
+	}
+	z := l.hsig.Forward(l.fc2.Forward(l.relu.Forward(l.fc1.Forward(s, train), train), train), train)
+	l.z = z
+	out := tensor.New(n, c, h, w)
+	od, zd := out.Data(), z.Data()
+	for i := 0; i < n*c; i++ {
+		zi := zd[i]
+		for j := 0; j < hw; j++ {
+			od[i*hw+j] = xd[i*hw+j] * zi
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *SEBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.x.Dim(0), l.x.Dim(1), l.x.Dim(2), l.x.Dim(3)
+	hw := h * w
+	gd, xd, zd := grad.Data(), l.x.Data(), l.z.Data()
+
+	// dz[n,c] = Σ_hw dy·x ;  dx (direct path) = dy·z
+	dz := tensor.New(n, c)
+	dzd := dz.Data()
+	dx := tensor.New(n, c, h, w)
+	dxd := dx.Data()
+	for i := 0; i < n*c; i++ {
+		var s float32
+		zi := zd[i]
+		for j := 0; j < hw; j++ {
+			g := gd[i*hw+j]
+			s += g * xd[i*hw+j]
+			dxd[i*hw+j] = g * zi
+		}
+		dzd[i] = s
+	}
+	// Backprop dz through the excitation MLP to ds [n,c].
+	ds := l.fc1.Backward(l.relu.Backward(l.fc2.Backward(l.hsig.Backward(dz))))
+	dsd := ds.Data()
+	inv := 1 / float32(hw)
+	for i := 0; i < n*c; i++ {
+		g := dsd[i] * inv
+		for j := 0; j < hw; j++ {
+			dxd[i*hw+j] += g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *SEBlock) Params() []*Param { return append(l.fc1.Params(), l.fc2.Params()...) }
+
+// States implements Layer.
+func (l *SEBlock) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *SEBlock) Name() string { return fmt.Sprintf("SEBlock(%d,%d)", l.C, l.Hidden) }
+
+// Dropout randomly zeroes activations during training, scaling survivors by
+// 1/(1-p) (inverted dropout). It holds its own RNG so a network instance is
+// self-contained; pass a split of the model seed.
+type Dropout struct {
+	P    float64
+	rng  *frand.RNG
+	mask []float32
+}
+
+// NewDropout builds a dropout layer with drop probability p.
+func NewDropout(r *frand.RNG, p float64) *Dropout {
+	return &Dropout{P: p, rng: r}
+}
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.P <= 0 {
+		l.mask = nil
+		return x
+	}
+	y := x.Clone()
+	d := y.Data()
+	if cap(l.mask) < len(d) {
+		l.mask = make([]float32, len(d))
+	}
+	l.mask = l.mask[:len(d)]
+	scale := float32(1 / (1 - l.P))
+	for i := range d {
+		if l.rng.Float64() < l.P {
+			l.mask[i] = 0
+			d[i] = 0
+		} else {
+			l.mask[i] = scale
+			d[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return grad
+	}
+	g := grad.Clone()
+	d := g.Data()
+	for i := range d {
+		d[i] *= l.mask[i]
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *Dropout) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", l.P) }

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/tensor"
+)
+
+// Conv2D is a grouped 2-D convolution over NCHW tensors. Groups==1 is a
+// standard convolution; Groups==InC with OutC==InC is a depthwise
+// convolution (the MobileNet building block); 1<Groups<InC gives the grouped
+// convolutions used by ShuffleNet.
+//
+// The implementation lowers each sample and group to an im2col matrix and a
+// single matmul, caching the column matrices for the backward pass.
+type Conv2D struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	Groups      int
+	W, B        *Param
+	inH, inW    int // geometry captured at Forward time
+	dims        tensor.ConvDims
+	cols        []float32 // cached im2col matrices: [N][G][rows*cols]
+	batch       int
+	x           *tensor.Tensor
+}
+
+// NewConv2D builds a grouped convolution with He-normal init. It panics if
+// channel counts are not divisible by groups (a construction-time programmer
+// error).
+func NewConv2D(r *frand.RNG, inC, outC, k, stride, pad, groups int) *Conv2D {
+	if groups < 1 || inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: Conv2D groups=%d incompatible with channels %d→%d", groups, inC, outC))
+	}
+	fanIn := (inC / groups) * k * k
+	std := math.Sqrt(2.0 / float64(fanIn))
+	w := tensor.Randn(r, std, outC, fanIn)
+	name := fmt.Sprintf("conv%d_%d_k%dg%d", inC, outC, k, groups)
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, Groups: groups,
+		W: &Param{Name: name + ".W", W: w, Grad: tensor.New(outC, fanIn)},
+		B: &Param{Name: name + ".b", W: tensor.New(outC), Grad: tensor.New(outC), NoDecay: true},
+	}
+}
+
+// NewDepthwiseConv2D builds a depthwise convolution (groups == channels).
+func NewDepthwiseConv2D(r *frand.RNG, c, k, stride, pad int) *Conv2D {
+	return NewConv2D(r, c, c, k, stride, pad, c)
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(1) != l.InC {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want [N %d H W]", x.Shape(), l.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	if h != l.inH || w != l.inW {
+		d, err := tensor.NewConvDims(l.InC/l.Groups, h, w, l.KH, l.KW, l.Stride, l.Pad)
+		if err != nil {
+			panic("nn: " + err.Error())
+		}
+		l.dims, l.inH, l.inW = d, h, w
+	}
+	d := l.dims
+	rows, cols := d.ColRows(), d.ColCols()
+	g := l.Groups
+	gcIn := l.InC / g
+	gcOut := l.OutC / g
+	need := n * g * rows * cols
+	if cap(l.cols) < need {
+		l.cols = make([]float32, need)
+	}
+	l.cols = l.cols[:need]
+	l.batch = n
+	l.x = x
+
+	out := tensor.New(n, l.OutC, d.OutH, d.OutW)
+	xd, od, wd, bd := x.Data(), out.Data(), l.W.W.Data(), l.B.W.Data()
+	imgStride := l.InC * h * w
+	outStride := l.OutC * d.OutH * d.OutW
+	fanIn := gcIn * l.KH * l.KW
+	for i := 0; i < n; i++ {
+		for gi := 0; gi < g; gi++ {
+			img := xd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
+			col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
+			tensor.Im2Col(col, img, d)
+			// y[gcOut, cols] = Wg[gcOut, fanIn] @ col[fanIn, cols]
+			colT := tensor.FromSlice(col, rows, cols)
+			wg := tensor.FromSlice(wd[gi*gcOut*fanIn:(gi+1)*gcOut*fanIn], gcOut, fanIn)
+			y := od[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
+			tensor.MatMulInto(tensor.FromSlice(y, gcOut, cols), wg, colT)
+			for oc := 0; oc < gcOut; oc++ {
+				b := bd[gi*gcOut+oc]
+				row := y[oc*cols : (oc+1)*cols]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	d := l.dims
+	rows, cols := d.ColRows(), d.ColCols()
+	g := l.Groups
+	gcIn := l.InC / g
+	gcOut := l.OutC / g
+	fanIn := gcIn * l.KH * l.KW
+	n := l.batch
+	h, w := l.inH, l.inW
+
+	dx := tensor.New(n, l.InC, h, w)
+	gd, wd, dwd, dbd, dxd := grad.Data(), l.W.W.Data(), l.W.Grad.Data(), l.B.Grad.Data(), dx.Data()
+	imgStride := l.InC * h * w
+	outStride := l.OutC * d.OutH * d.OutW
+
+	dcol := make([]float32, rows*cols)
+	for i := 0; i < n; i++ {
+		for gi := 0; gi < g; gi++ {
+			dy := gd[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
+			dyT := tensor.FromSlice(dy, gcOut, cols)
+			col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
+			colT := tensor.FromSlice(col, rows, cols)
+			// dWg += dy @ colᵀ
+			dwg := tensor.FromSlice(dwd[gi*gcOut*fanIn:(gi+1)*gcOut*fanIn], gcOut, fanIn)
+			dwg.AddInPlace(tensor.MatMulTransB(dyT, colT))
+			// db += Σ spatial dy
+			for oc := 0; oc < gcOut; oc++ {
+				var s float32
+				row := dy[oc*cols : (oc+1)*cols]
+				for _, v := range row {
+					s += v
+				}
+				dbd[gi*gcOut+oc] += s
+			}
+			// dcol = Wgᵀ @ dy, then scatter back to dx.
+			wg := tensor.FromSlice(wd[gi*gcOut*fanIn:(gi+1)*gcOut*fanIn], gcOut, fanIn)
+			dcolT := tensor.FromSlice(dcol, rows, cols)
+			dcolT.Zero()
+			tensor.MatMulAccInto(dcolT, wg.Transpose2D(), dyT)
+			dimg := dxd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
+			tensor.Col2Im(dimg, dcol, d)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+// States implements Layer.
+func (l *Conv2D) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d, k%d, s%d, g%d)", l.InC, l.OutC, l.KH, l.Stride, l.Groups)
+}
+
+// ChannelShuffle permutes channels between groups, the ShuffleNet mixing
+// operation: viewing channels as [g, c/g], it transposes to [c/g, g].
+type ChannelShuffle struct {
+	Groups int
+	c      int
+}
+
+// NewChannelShuffle returns a shuffle layer with the given group count.
+func NewChannelShuffle(groups int) *ChannelShuffle { return &ChannelShuffle{Groups: groups} }
+
+// Forward implements Layer.
+func (l *ChannelShuffle) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.c = x.Dim(1)
+	return shuffleChannels(x, l.Groups)
+}
+
+// Backward implements Layer: the inverse of a [g, c/g] transpose is a
+// [c/g, g] transpose.
+func (l *ChannelShuffle) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return shuffleChannels(grad, l.c/l.Groups)
+}
+
+func shuffleChannels(x *tensor.Tensor, g int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c%g != 0 {
+		panic(fmt.Sprintf("nn: ChannelShuffle %d channels not divisible by %d groups", c, g))
+	}
+	per := c / g
+	out := tensor.New(n, c, h, w)
+	hw := h * w
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		base := i * c * hw
+		for gi := 0; gi < g; gi++ {
+			for ci := 0; ci < per; ci++ {
+				src := xd[base+(gi*per+ci)*hw : base+(gi*per+ci+1)*hw]
+				dst := od[base+(ci*g+gi)*hw : base+(ci*g+gi+1)*hw]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *ChannelShuffle) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *ChannelShuffle) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *ChannelShuffle) Name() string { return fmt.Sprintf("ChannelShuffle(g%d)", l.Groups) }

@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/tensor"
+)
+
+// lossOf computes the probe loss L = <forward(x), R> used for gradient
+// checking: its exact output-gradient is R.
+func lossOf(l Layer, x, r *tensor.Tensor) float64 {
+	return l.Forward(x, true).Dot(r)
+}
+
+// checkGrads numerically verifies dL/dx and all dL/dparam for layer l on
+// input x. It checks up to maxCoords coordinates per tensor.
+func checkGrads(t *testing.T, l Layer, x *tensor.Tensor, seed uint64, maxCoords int) {
+	t.Helper()
+	rng := frand.New(seed)
+	out := l.Forward(x.Clone(), true)
+	r := tensor.Randn(rng, 1, out.Shape()...)
+
+	for _, p := range l.Params() {
+		p.Grad.Zero()
+	}
+	xin := x.Clone()
+	_ = l.Forward(xin, true)
+	dx := l.Backward(r)
+
+	const eps = 1e-2
+	approxEq := func(analytic, numeric float64) bool {
+		diff := math.Abs(analytic - numeric)
+		scale := math.Max(math.Abs(analytic), math.Abs(numeric))
+		return diff <= 2e-2+5e-2*scale
+	}
+
+	// Check input gradient on sampled coordinates.
+	coords := sampleCoords(rng, x.Size(), maxCoords)
+	for _, c := range coords {
+		orig := x.Data()[c]
+		x.Data()[c] = orig + eps
+		lp := lossOf(l, x.Clone(), r)
+		x.Data()[c] = orig - eps
+		lm := lossOf(l, x.Clone(), r)
+		x.Data()[c] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dx.Data()[c])
+		if !approxEq(analytic, numeric) {
+			t.Fatalf("%s: input grad[%d] analytic %.5f vs numeric %.5f", l.Name(), c, analytic, numeric)
+		}
+	}
+
+	// Check parameter gradients.
+	for pi, p := range l.Params() {
+		coords := sampleCoords(rng, p.W.Size(), maxCoords)
+		for _, c := range coords {
+			orig := p.W.Data()[c]
+			p.W.Data()[c] = orig + eps
+			lp := lossOf(l, x.Clone(), r)
+			p.W.Data()[c] = orig - eps
+			lm := lossOf(l, x.Clone(), r)
+			p.W.Data()[c] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(p.Grad.Data()[c])
+			if !approxEq(analytic, numeric) {
+				t.Fatalf("%s: param %d (%s) grad[%d] analytic %.5f vs numeric %.5f",
+					l.Name(), pi, p.Name, c, analytic, numeric)
+			}
+		}
+	}
+}
+
+func sampleCoords(r *frand.RNG, n, k int) []int {
+	if n <= k {
+		return r.Perm(n)
+	}
+	return r.Choice(n, k)
+}
+
+func TestDenseGrad(t *testing.T) {
+	r := frand.New(1)
+	l := NewDense(r, 7, 5)
+	x := tensor.Randn(r, 1, 4, 7)
+	checkGrads(t, l, x, 2, 20)
+}
+
+func TestConv2DGrad(t *testing.T) {
+	r := frand.New(3)
+	l := NewConv2D(r, 3, 4, 3, 1, 1, 1)
+	x := tensor.Randn(r, 1, 2, 3, 6, 6)
+	checkGrads(t, l, x, 4, 20)
+}
+
+func TestConv2DStride2Grad(t *testing.T) {
+	r := frand.New(5)
+	l := NewConv2D(r, 2, 6, 3, 2, 1, 1)
+	x := tensor.Randn(r, 1, 2, 2, 8, 8)
+	checkGrads(t, l, x, 6, 20)
+}
+
+func TestGroupConvGrad(t *testing.T) {
+	r := frand.New(7)
+	l := NewConv2D(r, 4, 8, 3, 1, 1, 2)
+	x := tensor.Randn(r, 1, 2, 4, 5, 5)
+	checkGrads(t, l, x, 8, 20)
+}
+
+func TestDepthwiseConvGrad(t *testing.T) {
+	r := frand.New(9)
+	l := NewDepthwiseConv2D(r, 5, 3, 1, 1)
+	x := tensor.Randn(r, 1, 2, 5, 6, 6)
+	checkGrads(t, l, x, 10, 20)
+}
+
+func TestReLUGrad(t *testing.T) {
+	r := frand.New(11)
+	// Keep values away from the kink at 0 for clean finite differences.
+	x := tensor.Randn(r, 1, 3, 10)
+	x.Apply(func(v float32) float32 {
+		if v >= 0 && v < 0.1 {
+			return v + 0.15
+		}
+		if v < 0 && v > -0.1 {
+			return v - 0.15
+		}
+		return v
+	})
+	checkGrads(t, NewReLU(), x, 12, 30)
+}
+
+func TestHardSwishGrad(t *testing.T) {
+	r := frand.New(13)
+	x := tensor.Randn(r, 1.5, 3, 10)
+	// Nudge values away from the kinks at ±3 and scale boundary effects.
+	x.Apply(func(v float32) float32 {
+		for _, k := range []float32{-3, 3} {
+			if v > k-0.1 && v < k+0.1 {
+				return v + 0.25
+			}
+		}
+		return v
+	})
+	checkGrads(t, NewHardSwish(), x, 14, 30)
+}
+
+func TestSigmoidGrad(t *testing.T) {
+	r := frand.New(15)
+	x := tensor.Randn(r, 1, 3, 8)
+	checkGrads(t, NewSigmoid(), x, 16, 24)
+}
+
+func TestBatchNormGrad(t *testing.T) {
+	r := frand.New(17)
+	l := NewBatchNorm2D(3)
+	// Non-trivial gamma/beta so their gradients are exercised.
+	for i, v := range []float32{1.2, 0.8, 1.5} {
+		l.Gamma.W.Data()[i] = v
+	}
+	for i, v := range []float32{0.1, -0.2, 0.3} {
+		l.Beta.W.Data()[i] = v
+	}
+	x := tensor.Randn(r, 1, 4, 3, 5, 5)
+	checkGrads(t, l, x, 18, 20)
+}
+
+func TestMaxPoolGrad(t *testing.T) {
+	r := frand.New(19)
+	l := NewMaxPool2D(2, 2)
+	x := tensor.Randn(r, 1, 2, 2, 6, 6)
+	checkGrads(t, l, x, 20, 30)
+}
+
+func TestAvgPoolGrad(t *testing.T) {
+	r := frand.New(21)
+	l := NewAvgPool2D(2, 2)
+	x := tensor.Randn(r, 1, 2, 2, 6, 6)
+	checkGrads(t, l, x, 22, 30)
+}
+
+func TestGlobalAvgPoolGrad(t *testing.T) {
+	r := frand.New(23)
+	x := tensor.Randn(r, 1, 2, 3, 4, 4)
+	checkGrads(t, NewGlobalAvgPool(), x, 24, 30)
+}
+
+func TestResidualGrad(t *testing.T) {
+	r := frand.New(25)
+	body := NewNetwork(
+		NewConv2D(r, 3, 3, 3, 1, 1, 1),
+		NewReLU(),
+	)
+	l := NewResidual(body, nil)
+	x := tensor.Randn(r, 1, 2, 3, 5, 5)
+	checkGrads(t, l, x, 26, 20)
+}
+
+func TestResidualProjGrad(t *testing.T) {
+	r := frand.New(27)
+	body := NewConv2D(r, 2, 4, 3, 1, 1, 1)
+	proj := NewConv2D(r, 2, 4, 1, 1, 0, 1)
+	l := NewResidual(body, proj)
+	x := tensor.Randn(r, 1, 2, 2, 4, 4)
+	checkGrads(t, l, x, 28, 20)
+}
+
+func TestParallelConcatGrad(t *testing.T) {
+	r := frand.New(29)
+	l := NewParallel(false,
+		NewConv2D(r, 3, 2, 1, 1, 0, 1),
+		NewConv2D(r, 3, 3, 3, 1, 1, 1),
+	)
+	x := tensor.Randn(r, 1, 2, 3, 4, 4)
+	checkGrads(t, l, x, 30, 20)
+}
+
+func TestParallelSplitGrad(t *testing.T) {
+	r := frand.New(31)
+	l := NewParallel(true,
+		NewIdentity(),
+		NewConv2D(r, 2, 2, 3, 1, 1, 1),
+	)
+	x := tensor.Randn(r, 1, 2, 4, 4, 4)
+	checkGrads(t, l, x, 32, 20)
+}
+
+func TestSEBlockGrad(t *testing.T) {
+	r := frand.New(33)
+	l := NewSEBlock(r, 4, 2)
+	x := tensor.Randn(r, 1, 2, 4, 4, 4)
+	checkGrads(t, l, x, 34, 20)
+}
+
+func TestChannelShuffleGrad(t *testing.T) {
+	r := frand.New(35)
+	l := NewChannelShuffle(2)
+	x := tensor.Randn(r, 1, 2, 4, 3, 3)
+	checkGrads(t, l, x, 36, 20)
+}
+
+// TestNetworkCompositeGrad uses smooth layers only (Sigmoid, AvgPool): the
+// piecewise-linear layers have kinks that make finite differences unreliable
+// when composed, and each has its own dedicated gradient check above.
+func TestNetworkCompositeGrad(t *testing.T) {
+	r := frand.New(37)
+	net := NewNetwork(
+		NewConv2D(r, 1, 4, 3, 1, 1, 1),
+		NewBatchNorm2D(4),
+		NewSigmoid(),
+		NewAvgPool2D(2, 2),
+		NewFlatten(),
+		NewDense(r, 4*3*3, 5),
+	)
+	x := tensor.Randn(r, 1, 2, 1, 6, 6)
+	checkGrads(t, net, x, 38, 15)
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"heteroswitch/internal/tensor"
+)
+
+// Loss computes a scalar training loss and the gradient of that loss with
+// respect to the network's output (logits/predictions).
+type Loss interface {
+	// Eval returns the mean loss over the batch and dL/d(pred).
+	Eval(pred *tensor.Tensor, target Target) (float64, *tensor.Tensor)
+	Name() string
+}
+
+// Target carries either class indices (single-label), a dense matrix
+// (multi-label / regression), whichever the loss expects.
+type Target struct {
+	Classes []int          // single-label classification
+	Dense   *tensor.Tensor // multi-label {0,1} matrix or regression targets
+}
+
+// ClassTarget wraps class indices as a Target.
+func ClassTarget(classes []int) Target { return Target{Classes: classes} }
+
+// DenseTarget wraps a dense tensor as a Target.
+func DenseTarget(t *tensor.Tensor) Target { return Target{Dense: t} }
+
+// SoftmaxCrossEntropy is the standard multi-class classification loss. Eval
+// expects logits [N, C] and Target.Classes of length N.
+type SoftmaxCrossEntropy struct{}
+
+// Eval implements Loss. The gradient is (softmax - onehot)/N.
+func (SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(target.Classes) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(target.Classes), n))
+	}
+	grad := tensor.New(n, c)
+	ld, gd := logits.Data(), grad.Data()
+	var loss float64
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		y := target.Classes[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		loss += -(float64(row[y]-maxv) - logSum) * invN
+		gRow := gd[i*c : (i+1)*c]
+		for j, v := range row {
+			p := math.Exp(float64(v-maxv)) / sum
+			gRow[j] = float32(p * invN)
+		}
+		gRow[y] -= float32(invN)
+	}
+	return loss, grad
+}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "SoftmaxCrossEntropy" }
+
+// BCEWithLogits is the multi-label classification loss: an independent
+// sigmoid cross-entropy per class, averaged over batch and classes. Eval
+// expects logits [N, C] and Target.Dense [N, C] with entries in {0,1}.
+type BCEWithLogits struct{}
+
+// Eval implements Loss.
+func (BCEWithLogits) Eval(logits *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+	if target.Dense == nil || !logits.SameShape(target.Dense) {
+		panic("nn: BCEWithLogits needs dense targets matching logits shape")
+	}
+	grad := tensor.New(logits.Shape()...)
+	ld, td, gd := logits.Data(), target.Dense.Data(), grad.Data()
+	var loss float64
+	invM := 1 / float64(len(ld))
+	for i, z := range ld {
+		t := float64(td[i])
+		zf := float64(z)
+		// numerically stable: log(1+e^-|z|) + max(z,0) - z*t
+		loss += (math.Max(zf, 0) - zf*t + math.Log1p(math.Exp(-math.Abs(zf)))) * invM
+		p := 1 / (1 + math.Exp(-zf))
+		gd[i] = float32((p - t) * invM)
+	}
+	return loss, grad
+}
+
+// Name implements Loss.
+func (BCEWithLogits) Name() string { return "BCEWithLogits" }
+
+// MSE is the mean squared error regression loss. Eval expects predictions
+// [N, D] and Target.Dense [N, D].
+type MSE struct{}
+
+// Eval implements Loss.
+func (MSE) Eval(pred *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+	if target.Dense == nil || pred.Size() != target.Dense.Size() {
+		panic("nn: MSE needs dense targets matching prediction size")
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Dense.Data(), grad.Data()
+	var loss float64
+	invM := 1 / float64(len(pd))
+	for i := range pd {
+		d := float64(pd[i]) - float64(td[i])
+		loss += d * d * invM
+		gd[i] = float32(2 * d * invM)
+	}
+	return loss, grad
+}
+
+// Name implements Loss.
+func (MSE) Name() string { return "MSE" }

@@ -1,0 +1,313 @@
+// Package nn is a compact, dependency-free neural-network training stack:
+// layers with explicit forward/backward passes, losses, an SGD optimizer,
+// and utilities for extracting and injecting flat parameter lists (the
+// interface federated learning needs for model aggregation).
+//
+// Design notes:
+//
+//   - Layers are stateful: Forward caches whatever Backward needs, so a
+//     Backward call must follow the matching Forward on the same layer
+//     instance. A layer instance is therefore not safe for concurrent use;
+//     build one network instance per worker goroutine.
+//   - Parameter gradients are ACCUMULATED by Backward. Call ZeroGrads (or
+//     Optimizer.Step, which zeroes after applying) between batches.
+//   - Tensors are NCHW float32 throughout.
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"heteroswitch/internal/tensor"
+)
+
+// Param is one trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name    string
+	W       *tensor.Tensor
+	Grad    *tensor.Tensor
+	NoDecay bool // true for biases and normalization affine params
+}
+
+// Layer is a differentiable network component.
+type Layer interface {
+	// Forward computes the layer output for input x. When train is true the
+	// layer caches intermediates for Backward and uses training behaviour
+	// (batch statistics, dropout masks).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients along the way.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// States returns non-trained persistent tensors (e.g. BatchNorm running
+	// statistics) that federated averaging should still aggregate.
+	States() []*tensor.Tensor
+	// Name returns a short human-readable layer description.
+	Name() string
+}
+
+// Network is an ordered sequence of layers, the only composition primitive
+// needed here (branching blocks are themselves Layers).
+type Network struct {
+	LayerList []Layer
+}
+
+// NewNetwork builds a network from the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{LayerList: layers}
+}
+
+// Forward runs all layers in order.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.LayerList {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the backward pass through all layers in reverse order and
+// returns dL/d(network input).
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.LayerList) - 1; i >= 0; i-- {
+		grad = n.LayerList[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in a stable order (layer order,
+// then each layer's declared order). The order is the contract federated
+// aggregation relies on.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.LayerList {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// States returns all persistent non-trained tensors in stable order.
+func (n *Network) States() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.LayerList {
+		out = append(out, l.States()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Size()
+	}
+	return total
+}
+
+// Name describes the network briefly.
+func (n *Network) Name() string {
+	return fmt.Sprintf("Network(%d layers, %d params)", len(n.LayerList), n.NumParams())
+}
+
+// Snapshot deep-copies all parameters and states into a Weights value.
+func (n *Network) Snapshot() Weights {
+	ps := n.Params()
+	ss := n.States()
+	w := Weights{
+		Params: make([]*tensor.Tensor, len(ps)),
+		States: make([]*tensor.Tensor, len(ss)),
+	}
+	for i, p := range ps {
+		w.Params[i] = p.W.Clone()
+	}
+	for i, s := range ss {
+		w.States[i] = s.Clone()
+	}
+	return w
+}
+
+// LoadWeights copies the given weights into the network's parameters and
+// states. It returns an error on any shape mismatch.
+func (n *Network) LoadWeights(w Weights) error {
+	ps := n.Params()
+	ss := n.States()
+	if len(ps) != len(w.Params) || len(ss) != len(w.States) {
+		return fmt.Errorf("nn: weight count mismatch: have %d/%d tensors, network wants %d/%d",
+			len(w.Params), len(w.States), len(ps), len(ss))
+	}
+	for i, p := range ps {
+		if p.W.Size() != w.Params[i].Size() {
+			return fmt.Errorf("nn: param %d (%s) size %d != %d", i, p.Name, p.W.Size(), w.Params[i].Size())
+		}
+		p.W.CopyFrom(w.Params[i])
+	}
+	for i, s := range ss {
+		if s.Size() != w.States[i].Size() {
+			return fmt.Errorf("nn: state %d size %d != %d", i, s.Size(), w.States[i].Size())
+		}
+		s.CopyFrom(w.States[i])
+	}
+	return nil
+}
+
+// Weights is a detached snapshot of a network's parameters and states —
+// the unit of exchange between federated clients and the server.
+type Weights struct {
+	Params []*tensor.Tensor
+	States []*tensor.Tensor
+}
+
+// Clone deep-copies the weights.
+func (w Weights) Clone() Weights {
+	c := Weights{
+		Params: make([]*tensor.Tensor, len(w.Params)),
+		States: make([]*tensor.Tensor, len(w.States)),
+	}
+	for i, p := range w.Params {
+		c.Params[i] = p.Clone()
+	}
+	for i, s := range w.States {
+		c.States[i] = s.Clone()
+	}
+	return c
+}
+
+// Zero returns a zero-filled weight set with the same shapes as w.
+func (w Weights) Zero() Weights {
+	z := Weights{
+		Params: make([]*tensor.Tensor, len(w.Params)),
+		States: make([]*tensor.Tensor, len(w.States)),
+	}
+	for i, p := range w.Params {
+		z.Params[i] = tensor.New(p.Shape()...)
+	}
+	for i, s := range w.States {
+		z.States[i] = tensor.New(s.Shape()...)
+	}
+	return z
+}
+
+// Axpy computes w += a*x across all tensors (params and states).
+func (w Weights) Axpy(a float32, x Weights) {
+	for i, p := range w.Params {
+		p.Axpy(a, x.Params[i])
+	}
+	for i, s := range w.States {
+		s.Axpy(a, x.States[i])
+	}
+}
+
+// Lerp computes w = (1-a)*w + a*x across all tensors.
+func (w Weights) Lerp(a float32, x Weights) {
+	for i, p := range w.Params {
+		p.Lerp(a, x.Params[i])
+	}
+	for i, s := range w.States {
+		s.Lerp(a, x.States[i])
+	}
+}
+
+// Scale multiplies all tensors by a.
+func (w Weights) Scale(a float32) {
+	for _, p := range w.Params {
+		p.Scale(a)
+	}
+	for _, s := range w.States {
+		s.Scale(a)
+	}
+}
+
+// Sub returns w - x as a new weight set (params and states).
+func (w Weights) Sub(x Weights) Weights {
+	d := w.Clone()
+	d.Axpy(-1, x)
+	return d
+}
+
+// L2DistSq returns the squared L2 distance between the PARAMETER tensors of
+// w and x (states excluded), as used by the FedProx proximal term.
+func (w Weights) L2DistSq(x Weights) float64 {
+	var s float64
+	for i, p := range w.Params {
+		a, b := p.Data(), x.Params[i].Data()
+		for j := range a {
+			d := float64(a[j]) - float64(b[j])
+			s += d * d
+		}
+	}
+	return s
+}
+
+// WriteTo serializes the weights.
+func (w Weights) WriteTo(out io.Writer) (int64, error) {
+	var total int64
+	hdr := []int64{int64(len(w.Params)), int64(len(w.States))}
+	for _, h := range hdr {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(h >> (8 * i))
+		}
+		n, err := out.Write(b[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, t := range append(append([]*tensor.Tensor{}, w.Params...), w.States...) {
+		n, err := t.WriteTo(out)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadWeights deserializes a weight set written by WriteTo.
+func ReadWeights(in io.Reader) (Weights, error) {
+	readInt := func() (int64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(in, b[:]); err != nil {
+			return 0, err
+		}
+		var v int64
+		for i := 0; i < 8; i++ {
+			v |= int64(b[i]) << (8 * i)
+		}
+		return v, nil
+	}
+	np, err := readInt()
+	if err != nil {
+		return Weights{}, err
+	}
+	ns, err := readInt()
+	if err != nil {
+		return Weights{}, err
+	}
+	w := Weights{
+		Params: make([]*tensor.Tensor, np),
+		States: make([]*tensor.Tensor, ns),
+	}
+	for i := range w.Params {
+		t := tensor.New()
+		if _, err := t.ReadFrom(in); err != nil {
+			return Weights{}, err
+		}
+		w.Params[i] = t
+	}
+	for i := range w.States {
+		t := tensor.New()
+		if _, err := t.ReadFrom(in); err != nil {
+			return Weights{}, err
+		}
+		w.States[i] = t
+	}
+	return w, nil
+}

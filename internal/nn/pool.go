@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/tensor"
+)
+
+// MaxPool2D performs kxk max pooling with the given stride on NCHW tensors.
+type MaxPool2D struct {
+	K, Stride int
+	argmax    []int
+	inShape   []int
+}
+
+// NewMaxPool2D builds a max-pool layer.
+func NewMaxPool2D(k, stride int) *MaxPool2D { return &MaxPool2D{K: k, Stride: stride} }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-l.K)/l.Stride + 1
+	ow := (w-l.K)/l.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D k%d s%d on %dx%d", l.K, l.Stride, h, w))
+	}
+	l.inShape = x.Shape()
+	out := tensor.New(n, c, oh, ow)
+	need := n * c * oh * ow
+	if cap(l.argmax) < need {
+		l.argmax = make([]int, need)
+	}
+	l.argmax = l.argmax[:need]
+	xd, od := x.Data(), out.Data()
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			base := (i*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy0, ix0 := oy*l.Stride, ox*l.Stride
+					best := xd[base+iy0*w+ix0]
+					bestIdx := base + iy0*w + ix0
+					for ky := 0; ky < l.K; ky++ {
+						for kx := 0; kx < l.K; kx++ {
+							idx := base + (iy0+ky)*w + (ix0 + kx)
+							if xd[idx] > best {
+								best, bestIdx = xd[idx], idx
+							}
+						}
+					}
+					od[oi] = best
+					l.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer, routing each gradient to its argmax position.
+func (l *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.inShape...)
+	dxd, gd := dx.Data(), grad.Data()
+	for i, g := range gd {
+		dxd[l.argmax[i]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *MaxPool2D) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(k%d,s%d)", l.K, l.Stride) }
+
+// AvgPool2D performs kxk average pooling with the given stride.
+type AvgPool2D struct {
+	K, Stride int
+	inShape   []int
+}
+
+// NewAvgPool2D builds an average-pool layer.
+func NewAvgPool2D(k, stride int) *AvgPool2D { return &AvgPool2D{K: k, Stride: stride} }
+
+// Forward implements Layer.
+func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-l.K)/l.Stride + 1
+	ow := (w-l.K)/l.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: AvgPool2D k%d s%d on %dx%d", l.K, l.Stride, h, w))
+	}
+	l.inShape = x.Shape()
+	out := tensor.New(n, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float32(l.K*l.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			base := (i*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < l.K; ky++ {
+						row := base + (oy*l.Stride+ky)*w + ox*l.Stride
+						for kx := 0; kx < l.K; kx++ {
+							s += xd[row+kx]
+						}
+					}
+					od[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer, spreading the gradient uniformly over the window.
+func (l *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.inShape...)
+	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	dxd, gd := dx.Data(), grad.Data()
+	inv := 1 / float32(l.K*l.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			base := (i*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gd[oi] * inv
+					oi++
+					for ky := 0; ky < l.K; ky++ {
+						row := base + (oy*l.Stride+ky)*w + ox*l.Stride
+						for kx := 0; kx < l.K; kx++ {
+							dxd[row+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *AvgPool2D) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *AvgPool2D) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *AvgPool2D) Name() string { return fmt.Sprintf("AvgPool2D(k%d,s%d)", l.K, l.Stride) }
+
+// GlobalAvgPool collapses each channel's spatial extent to a single value,
+// producing [N, C] from [N, C, H, W].
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool builds a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	l.inShape = x.Shape()
+	out := tensor.New(n, c)
+	xd, od := x.Data(), out.Data()
+	hw := h * w
+	inv := 1 / float32(hw)
+	for i := 0; i < n*c; i++ {
+		var s float32
+		for j := 0; j < hw; j++ {
+			s += xd[i*hw+j]
+		}
+		od[i] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.inShape...)
+	hw := l.inShape[2] * l.inShape[3]
+	inv := 1 / float32(hw)
+	dxd, gd := dx.Data(), grad.Data()
+	for i, g := range gd {
+		gg := g * inv
+		for j := 0; j < hw; j++ {
+			dxd[i*hw+j] = gg
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPool) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *GlobalAvgPool) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
+
+// Flatten reshapes [N, ...] to [N, prod(...)]. It is a pure view change.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = x.Shape()
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *Flatten) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return "Flatten" }

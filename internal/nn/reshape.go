@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/tensor"
+)
+
+// Reshape views each sample as the given per-sample shape, preserving the
+// batch dimension: [N, ...] → [N, dims...]. It is a pure view change used to
+// feed flat signals into convolutional stacks (e.g. ECG windows of length L
+// become [1, 1, L] images for 1-D-style convolution).
+type Reshape struct {
+	Dims    []int
+	inShape []int
+}
+
+// NewReshape builds a reshape layer with the per-sample target shape.
+func NewReshape(dims ...int) *Reshape {
+	d := make([]int, len(dims))
+	copy(d, dims)
+	return &Reshape{Dims: d}
+}
+
+// Forward implements Layer.
+func (l *Reshape) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = x.Shape()
+	shape := append([]int{x.Dim(0)}, l.Dims...)
+	return x.Reshape(shape...)
+}
+
+// Backward implements Layer.
+func (l *Reshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Reshape) Params() []*Param { return nil }
+
+// States implements Layer.
+func (l *Reshape) States() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Reshape) Name() string { return fmt.Sprintf("Reshape%v", l.Dims) }

@@ -1,0 +1,284 @@
+// Package scene procedurally generates the latent images the simulated
+// devices photograph. It replaces the paper's monitor-displayed ImageNet
+// photos: because every device captures the SAME latent scene, any
+// cross-device difference in the resulting training data is system-induced
+// by construction — the paper's controlled dark-room setup.
+//
+// Each class is a parametric recipe combining a color palette with a texture
+// (stripes, checker, rings, blobs, noise octaves, or a shape on a gradient).
+// Class identity is carried by both structure and color/tone statistics, so
+// ISP and sensor variation genuinely perturbs class evidence, as it does for
+// natural images.
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/isp"
+)
+
+// TextureKind enumerates the procedural texture families.
+type TextureKind int
+
+// Texture families.
+const (
+	TexStripes TextureKind = iota
+	TexChecker
+	TexRings
+	TexBlobs
+	TexNoise
+	TexShape
+	numTexKinds
+)
+
+// Recipe is one class's generative program.
+type Recipe struct {
+	Name    string
+	Texture TextureKind
+	// ColorA and ColorB are the two palette anchors (linear RGB).
+	ColorA, ColorB [3]float64
+	// Freq is the base spatial frequency (stripes/rings/checker) or feature
+	// count (blobs), in cycles per image.
+	Freq float64
+	// Angle is the base texture orientation in radians.
+	Angle float64
+}
+
+// Generator renders class instances at a fixed resolution.
+type Generator struct {
+	Res     int
+	Recipes []Recipe
+}
+
+// NumClasses returns the number of classes.
+func (g *Generator) NumClasses() int { return len(g.Recipes) }
+
+// ClassName returns the human-readable class label.
+func (g *Generator) ClassName(class int) string { return g.Recipes[class].Name }
+
+// NewImageNet12 builds the 12-class generator standing in for the paper's
+// 12 non-overlapping ImageNet classes (§3.1). Palettes and textures are
+// hand-assigned so classes are visually and statistically distinct.
+func NewImageNet12(res int) *Generator {
+	rc := []Recipe{
+		{Name: "chihuahua", Texture: TexBlobs, ColorA: [3]float64{0.72, 0.55, 0.36}, ColorB: [3]float64{0.30, 0.20, 0.12}, Freq: 5},
+		{Name: "altar", Texture: TexShape, ColorA: [3]float64{0.78, 0.70, 0.52}, ColorB: [3]float64{0.25, 0.18, 0.30}, Freq: 2},
+		{Name: "cock", Texture: TexBlobs, ColorA: [3]float64{0.80, 0.25, 0.18}, ColorB: [3]float64{0.18, 0.45, 0.25}, Freq: 8},
+		{Name: "abaya", Texture: TexNoise, ColorA: [3]float64{0.12, 0.12, 0.18}, ColorB: [3]float64{0.35, 0.32, 0.40}, Freq: 3},
+		{Name: "ambulance", Texture: TexStripes, ColorA: [3]float64{0.85, 0.85, 0.88}, ColorB: [3]float64{0.82, 0.15, 0.12}, Freq: 4, Angle: 0},
+		{Name: "loggerhead", Texture: TexRings, ColorA: [3]float64{0.35, 0.42, 0.25}, ColorB: [3]float64{0.62, 0.55, 0.35}, Freq: 5},
+		{Name: "timber-wolf", Texture: TexNoise, ColorA: [3]float64{0.55, 0.55, 0.58}, ColorB: [3]float64{0.22, 0.22, 0.25}, Freq: 6},
+		{Name: "tiger-beetle", Texture: TexChecker, ColorA: [3]float64{0.15, 0.50, 0.30}, ColorB: [3]float64{0.60, 0.45, 0.12}, Freq: 7},
+		{Name: "accordion", Texture: TexStripes, ColorA: [3]float64{0.55, 0.12, 0.15}, ColorB: [3]float64{0.85, 0.80, 0.70}, Freq: 9, Angle: math.Pi / 2},
+		{Name: "french-loaf", Texture: TexShape, ColorA: [3]float64{0.76, 0.58, 0.30}, ColorB: [3]float64{0.42, 0.26, 0.12}, Freq: 1},
+		{Name: "barber-chair", Texture: TexRings, ColorA: [3]float64{0.70, 0.15, 0.20}, ColorB: [3]float64{0.88, 0.88, 0.90}, Freq: 8},
+		{Name: "orangutan", Texture: TexBlobs, ColorA: [3]float64{0.70, 0.35, 0.12}, ColorB: [3]float64{0.25, 0.12, 0.06}, Freq: 3},
+	}
+	return &Generator{Res: res, Recipes: rc}
+}
+
+// NewSynthetic builds a generator with `classes` procedurally-derived
+// recipes (used for the CIFAR-style and FLAIR-style experiments). Recipes
+// are deterministic in the seed.
+func NewSynthetic(classes, res int, seed uint64) *Generator {
+	r := frand.New(seed)
+	rc := make([]Recipe, classes)
+	for c := range rc {
+		rc[c] = Recipe{
+			Name:    fmt.Sprintf("class%02d", c),
+			Texture: TextureKind(r.Intn(int(numTexKinds))),
+			ColorA:  randColor(r),
+			ColorB:  randColor(r),
+			Freq:    r.Uniform(2, 10),
+			Angle:   r.Uniform(0, math.Pi),
+		}
+	}
+	return &Generator{Res: res, Recipes: rc}
+}
+
+func randColor(r *frand.RNG) [3]float64 {
+	return [3]float64{r.Uniform(0.1, 0.9), r.Uniform(0.1, 0.9), r.Uniform(0.1, 0.9)}
+}
+
+// Render draws one instance of the class with per-instance jitter drawn from
+// rng (orientation, phase, scale, mild color shift), returning a linear-RGB
+// scene. It panics if class is out of range (caller bug).
+func (g *Generator) Render(class int, rng *frand.RNG) *isp.Image {
+	if class < 0 || class >= len(g.Recipes) {
+		panic(fmt.Sprintf("scene: class %d out of range [0,%d)", class, len(g.Recipes)))
+	}
+	rc := g.Recipes[class]
+	res := g.Res
+	im := isp.NewImage(res, res)
+
+	// Per-instance jitter.
+	angle := rc.Angle + rng.Uniform(-0.35, 0.35)
+	freq := rc.Freq * rng.Uniform(0.8, 1.25)
+	phase := rng.Uniform(0, 2*math.Pi)
+	cx := rng.Uniform(0.35, 0.65)
+	cy := rng.Uniform(0.35, 0.65)
+	colJitter := rng.Uniform(-0.06, 0.06)
+	a, b := rc.ColorA, rc.ColorB
+	for c := 0; c < 3; c++ {
+		a[c] = clamp01f(a[c] + colJitter)
+		b[c] = clamp01f(b[c] + colJitter)
+	}
+	sin, cos := math.Sin(angle), math.Cos(angle)
+
+	// Blob fields need per-instance centres.
+	type blob struct{ x, y, r2 float64 }
+	var blobs []blob
+	if rc.Texture == TexBlobs {
+		n := int(freq)
+		if n < 2 {
+			n = 2
+		}
+		blobs = make([]blob, n)
+		for i := range blobs {
+			rad := rng.Uniform(0.08, 0.22)
+			blobs[i] = blob{x: rng.Uniform(0.1, 0.9), y: rng.Uniform(0.1, 0.9), r2: rad * rad}
+		}
+	}
+	// Noise octave offsets.
+	noiseSeed := rng.Uint64()
+
+	for y := 0; y < res; y++ {
+		for x := 0; x < res; x++ {
+			fx := float64(x) / float64(res)
+			fy := float64(y) / float64(res)
+			// t in [0,1] selects between palette colors.
+			var t float64
+			switch rc.Texture {
+			case TexStripes:
+				u := fx*cos + fy*sin
+				t = 0.5 + 0.5*math.Sin(2*math.Pi*freq*u+phase)
+			case TexChecker:
+				u := fx*cos + fy*sin
+				v := -fx*sin + fy*cos
+				t = 0.0
+				if (int(math.Floor(u*freq))+int(math.Floor(v*freq)))%2 == 0 {
+					t = 1.0
+				}
+			case TexRings:
+				dx, dy := fx-cx, fy-cy
+				t = 0.5 + 0.5*math.Sin(2*math.Pi*freq*math.Sqrt(dx*dx+dy*dy)+phase)
+			case TexBlobs:
+				t = 0
+				for _, bl := range blobs {
+					dx, dy := fx-bl.x, fy-bl.y
+					t += math.Exp(-(dx*dx + dy*dy) / bl.r2)
+				}
+				if t > 1 {
+					t = 1
+				}
+			case TexNoise:
+				t = valueNoise(fx*freq, fy*freq, noiseSeed)
+			default: // TexShape: a filled ellipse on a diagonal gradient
+				dx := (fx - cx) / 0.3
+				dy := (fy - cy) / 0.22
+				if dx*dx+dy*dy < 1 {
+					t = 1
+				} else {
+					t = 0.25 * (fx + fy)
+				}
+			}
+			for c := 0; c < 3; c++ {
+				im.Set(x, y, c, clamp01f(a[c]*t+b[c]*(1-t)))
+			}
+		}
+	}
+	// Mild scene-level sensor-independent noise (display/ambient).
+	for i := range im.Pix {
+		im.Pix[i] = clamp01f(im.Pix[i] + 0.01*rng.NormFloat64())
+	}
+	return im
+}
+
+// valueNoise is 2-octave value noise with hashed lattice gradients — cheap
+// and deterministic.
+func valueNoise(x, y float64, seed uint64) float64 {
+	v := 0.65*latticeNoise(x, y, seed) + 0.35*latticeNoise(2*x+13, 2*y+7, seed^0x9e37)
+	return clamp01f(v)
+}
+
+func latticeNoise(x, y float64, seed uint64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	tx, ty := x-x0, y-y0
+	// Smoothstep interpolation between hashed corners.
+	sx := tx * tx * (3 - 2*tx)
+	sy := ty * ty * (3 - 2*ty)
+	h := func(ix, iy float64) float64 {
+		u := uint64(int64(ix))*0x9e3779b97f4a7c15 ^ uint64(int64(iy))*0xc2b2ae3d27d4eb4f ^ seed
+		u ^= u >> 33
+		u *= 0xff51afd7ed558ccd
+		u ^= u >> 33
+		return float64(u>>11) / (1 << 53)
+	}
+	top := h(x0, y0) + (h(x0+1, y0)-h(x0, y0))*sx
+	bot := h(x0, y0+1) + (h(x0+1, y0+1)-h(x0, y0+1))*sx
+	return top + (bot-top)*sy
+}
+
+func clamp01f(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Scene pairs a rendered latent image with its label, the unit the capture
+// pipelines consume.
+type Scene struct {
+	Class int
+	Image *isp.Image
+}
+
+// RenderSet renders perClass instances of every class, returning them in
+// class-major order. The same RenderSet captured through different devices
+// reproduces the paper's data-collection protocol.
+func (g *Generator) RenderSet(perClass int, rng *frand.RNG) []Scene {
+	out := make([]Scene, 0, perClass*g.NumClasses())
+	for c := 0; c < g.NumClasses(); c++ {
+		for i := 0; i < perClass; i++ {
+			out = append(out, Scene{Class: c, Image: g.Render(c, rng)})
+		}
+	}
+	return out
+}
+
+// MultiLabelScene composes 2x2 quadrants, each drawn from a distinct class,
+// for multi-label experiments (FLAIR substitute). The returned label vector
+// has a 1 for every class present.
+func (g *Generator) MultiLabelScene(rng *frand.RNG) (*isp.Image, []float32) {
+	res := g.Res
+	im := isp.NewImage(res, res)
+	labels := make([]float32, g.NumClasses())
+	half := res / 2
+	quads := [][2]int{{0, 0}, {half, 0}, {0, half}, {half, half}}
+	nObjects := 2 + rng.Intn(3) // 2..4 quadrants populated
+	order := rng.Perm(4)
+	chosen := map[int]bool{}
+	for q := 0; q < nObjects; q++ {
+		class := rng.Intn(g.NumClasses())
+		for chosen[class] {
+			class = rng.Intn(g.NumClasses())
+		}
+		chosen[class] = true
+		labels[class] = 1
+		tile := g.Render(class, rng).Resize(half, half)
+		ox, oy := quads[order[q]][0], quads[order[q]][1]
+		for y := 0; y < half; y++ {
+			for x := 0; x < half; x++ {
+				for c := 0; c < 3; c++ {
+					im.Set(ox+x, oy+y, c, tile.At(x, y, c))
+				}
+			}
+		}
+	}
+	return im, labels
+}

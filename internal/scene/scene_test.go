@@ -1,0 +1,173 @@
+package scene
+
+import (
+	"testing"
+
+	"heteroswitch/internal/frand"
+)
+
+func TestImageNet12Recipes(t *testing.T) {
+	g := NewImageNet12(64)
+	if g.NumClasses() != 12 {
+		t.Fatalf("classes = %d", g.NumClasses())
+	}
+	names := map[string]bool{}
+	for c := 0; c < 12; c++ {
+		n := g.ClassName(c)
+		if n == "" || names[n] {
+			t.Fatalf("class %d has empty or duplicate name %q", c, n)
+		}
+		names[n] = true
+	}
+}
+
+func TestRenderInRangeAndSized(t *testing.T) {
+	g := NewImageNet12(48)
+	rng := frand.New(1)
+	for c := 0; c < g.NumClasses(); c++ {
+		im := g.Render(c, rng)
+		if im.W != 48 || im.H != 48 {
+			t.Fatalf("class %d render %dx%d", c, im.W, im.H)
+		}
+		for _, v := range im.Pix {
+			if v < 0 || v > 1 {
+				t.Fatalf("class %d pixel out of range: %v", c, v)
+			}
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	g := NewImageNet12(32)
+	a := g.Render(3, frand.New(42))
+	b := g.Render(3, frand.New(42))
+	if a.MSE(b) != 0 {
+		t.Fatal("render not deterministic for identical RNG")
+	}
+}
+
+func TestIntraClassVariation(t *testing.T) {
+	g := NewImageNet12(32)
+	rng := frand.New(7)
+	a := g.Render(3, rng)
+	b := g.Render(3, rng)
+	if a.MSE(b) < 1e-5 {
+		t.Fatal("two instances of the same class are identical — no augmentable variation")
+	}
+}
+
+func TestInterClassSeparation(t *testing.T) {
+	// Mean image distance between classes should exceed within-class
+	// distance, otherwise the classification task is ill-posed.
+	g := NewImageNet12(32)
+	rng := frand.New(11)
+	var within, between float64
+	nw, nb := 0, 0
+	renders := make([][]float64, 12)
+	for c := 0; c < 12; c++ {
+		a := g.Render(c, rng)
+		b := g.Render(c, rng)
+		within += a.MSE(b)
+		nw++
+		means := a.ChannelMeans()
+		renders[c] = means[:]
+	}
+	for c1 := 0; c1 < 12; c1++ {
+		for c2 := c1 + 1; c2 < 12; c2++ {
+			var d float64
+			for k := 0; k < 3; k++ {
+				diff := renders[c1][k] - renders[c2][k]
+				d += diff * diff
+			}
+			between += d
+			nb++
+		}
+	}
+	if between/float64(nb) < 1e-4 {
+		t.Errorf("classes have nearly identical color statistics: %v", between/float64(nb))
+	}
+	_ = within
+}
+
+func TestSyntheticGeneratorDeterministicInSeed(t *testing.T) {
+	a := NewSynthetic(20, 32, 5)
+	b := NewSynthetic(20, 32, 5)
+	if len(a.Recipes) != 20 {
+		t.Fatalf("recipes = %d", len(a.Recipes))
+	}
+	for i := range a.Recipes {
+		if a.Recipes[i] != b.Recipes[i] {
+			t.Fatal("synthetic recipes differ across identical seeds")
+		}
+	}
+	c := NewSynthetic(20, 32, 6)
+	same := 0
+	for i := range a.Recipes {
+		if a.Recipes[i].ColorA == c.Recipes[i].ColorA {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different seeds produced identical recipes")
+	}
+}
+
+func TestRenderSetClassMajorOrder(t *testing.T) {
+	g := NewImageNet12(16)
+	set := g.RenderSet(3, frand.New(13))
+	if len(set) != 36 {
+		t.Fatalf("set size %d", len(set))
+	}
+	for i, s := range set {
+		if s.Class != i/3 {
+			t.Fatalf("scene %d class %d, want %d", i, s.Class, i/3)
+		}
+		if s.Image == nil {
+			t.Fatal("nil image in set")
+		}
+	}
+}
+
+func TestMultiLabelScene(t *testing.T) {
+	g := NewImageNet12(32)
+	rng := frand.New(17)
+	for trial := 0; trial < 10; trial++ {
+		im, labels := g.MultiLabelScene(rng)
+		if im.W != 32 || im.H != 32 {
+			t.Fatalf("geometry %dx%d", im.W, im.H)
+		}
+		if len(labels) != 12 {
+			t.Fatalf("label vector length %d", len(labels))
+		}
+		pos := 0
+		for _, l := range labels {
+			if l != 0 && l != 1 {
+				t.Fatalf("non-binary label %v", l)
+			}
+			if l == 1 {
+				pos++
+			}
+		}
+		if pos < 2 || pos > 4 {
+			t.Fatalf("positive labels = %d, want 2..4", pos)
+		}
+	}
+}
+
+func TestRenderPanicsOnBadClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewImageNet12(16).Render(99, frand.New(1))
+}
+
+func BenchmarkRender64(b *testing.B) {
+	g := NewImageNet12(64)
+	rng := frand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Render(i%12, rng)
+	}
+}

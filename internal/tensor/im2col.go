@@ -1,0 +1,117 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes a 2-D convolution geometry shared by Im2Col and the
+// conv layers in internal/nn.
+type ConvDims struct {
+	InC, InH, InW    int // input channels / height / width
+	KH, KW           int // kernel size
+	StrideH, StrideW int
+	PadH, PadW       int
+	OutH, OutW       int // derived output size
+}
+
+// NewConvDims computes output sizes for the given geometry. It returns an
+// error if the geometry produces a non-positive output size.
+func NewConvDims(inC, inH, inW, kh, kw, stride, pad int) (ConvDims, error) {
+	d := ConvDims{
+		InC: inC, InH: inH, InW: inW,
+		KH: kh, KW: kw,
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad,
+	}
+	d.OutH = (inH+2*pad-kh)/stride + 1
+	d.OutW = (inW+2*pad-kw)/stride + 1
+	if d.OutH <= 0 || d.OutW <= 0 {
+		return d, fmt.Errorf("tensor: conv geometry %dx%d k%d s%d p%d yields output %dx%d",
+			inH, inW, kh, stride, pad, d.OutH, d.OutW)
+	}
+	return d, nil
+}
+
+// ColRows returns the number of rows of the im2col matrix (inC*kh*kw).
+func (d ConvDims) ColRows() int { return d.InC * d.KH * d.KW }
+
+// ColCols returns the number of columns of the im2col matrix (outH*outW).
+func (d ConvDims) ColCols() int { return d.OutH * d.OutW }
+
+// Im2Col expands one image (flat CHW slice `img`) into the column matrix
+// `col` of shape [inC*kh*kw, outH*outW], so that convolution becomes a
+// single matrix multiply: W[outC, inC*kh*kw] @ col.
+//
+// col must have length ColRows()*ColCols(). Out-of-bounds taps (padding)
+// are written as zeros.
+func Im2Col(col, img []float32, d ConvDims) {
+	if len(col) != d.ColRows()*d.ColCols() {
+		panic(fmt.Sprintf("tensor: Im2Col col size %d, want %d", len(col), d.ColRows()*d.ColCols()))
+	}
+	if len(img) != d.InC*d.InH*d.InW {
+		panic(fmt.Sprintf("tensor: Im2Col img size %d, want %d", len(img), d.InC*d.InH*d.InW))
+	}
+	cols := d.ColCols()
+	row := 0
+	for c := 0; c < d.InC; c++ {
+		chanBase := c * d.InH * d.InW
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				dst := col[row*cols : (row+1)*cols]
+				i := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.StrideH - d.PadH + ky
+					if iy < 0 || iy >= d.InH {
+						for ox := 0; ox < d.OutW; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*d.InW
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.StrideW - d.PadW + kx
+						if ix < 0 || ix >= d.InW {
+							dst[i] = 0
+						} else {
+							dst[i] = img[rowBase+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters the column matrix back into an image, accumulating
+// overlapping contributions. It is the adjoint of Im2Col and is used to
+// compute input gradients of convolution. img is NOT zeroed first.
+func Col2Im(img, col []float32, d ConvDims) {
+	cols := d.ColCols()
+	row := 0
+	for c := 0; c < d.InC; c++ {
+		chanBase := c * d.InH * d.InW
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				src := col[row*cols : (row+1)*cols]
+				i := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.StrideH - d.PadH + ky
+					if iy < 0 || iy >= d.InH {
+						i += d.OutW
+						continue
+					}
+					rowBase := chanBase + iy*d.InW
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.StrideW - d.PadW + kx
+						if ix >= 0 && ix < d.InW {
+							img[rowBase+ix] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

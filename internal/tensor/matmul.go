@@ -1,0 +1,133 @@
+package tensor
+
+import "fmt"
+
+// matmul kernel block size, chosen to keep a block of B rows of both
+// operands inside L1 cache for float32 data.
+const mmBlock = 64
+
+// MatMul returns a @ b for 2-D tensors a[m,k] and b[k,n] as a new [m,n]
+// tensor. It uses a cache-blocked i-k-j loop ordering, which on row-major
+// data streams both b and the output and vectorizes well.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D tensors, have %v @ %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a @ b, overwriting out. out must be [m,n].
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	out.Zero()
+	matmulAcc(out.data, a.data, b.data, m, k, n)
+}
+
+// MatMulAccInto computes out += a @ b without zeroing out first.
+func MatMulAccInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: MatMulAccInto shape mismatch")
+	}
+	matmulAcc(out.data, a.data, b.data, m, k, n)
+}
+
+// matmulAcc is the blocked kernel: out[m,n] += a[m,k] @ b[k,n], all
+// row-major flat slices.
+func matmulAcc(out, a, b []float32, m, k, n int) {
+	for i0 := 0; i0 < m; i0 += mmBlock {
+		iMax := min(i0+mmBlock, m)
+		for k0 := 0; k0 < k; k0 += mmBlock {
+			kMax := min(k0+mmBlock, k)
+			for i := i0; i < iMax; i++ {
+				arow := a[i*k : i*k+k]
+				orow := out[i*n : i*n+n]
+				for kk := k0; kk < kMax; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b[kk*n : kk*n+n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a @ bᵀ for a[m,k] and b[n,k] as [m,n]. This avoids
+// materializing the transpose in backward passes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransB needs 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : i*k+k]
+		orow := out.data[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : j*k+k]
+			var s float32
+			for x := range arow {
+				s += arow[x] * brow[x]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ @ b for a[k,m] and b[k,n] as [m,n], used for
+// weight-gradient computation (xᵀ @ dy).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransA needs 2-D tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", k, k2))
+	}
+	out := New(m, n)
+	// out[i,j] = Σ_x a[x,i] b[x,j]: accumulate outer products row by row.
+	for x := 0; x < k; x++ {
+		arow := a.data[x*m : x*m+m]
+		brow := b.data[x*n : x*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : i*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,279 @@
+// Package tensor implements dense row-major float32 tensors and the numeric
+// kernels (elementwise ops, blocked matrix multiply, im2col) that the neural
+// network stack in internal/nn is built on.
+//
+// Tensors are deliberately simple: a shape and a flat []float32 buffer.
+// Layout is row-major (C order); images use NCHW. Most operations come in an
+// allocating form and an in-place/into form so hot training loops can reuse
+// buffers.
+//
+// Shape errors are programmer errors, so the hot-path kernels panic on
+// mismatched shapes rather than returning errors; public entry points in
+// higher layers validate dimensions up front.
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"heteroswitch/internal/frand"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New allocates a zero-filled tensor with the given shape. A zero-dimensional
+// call (no arguments) produces a scalar tensor of size 1.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// FromSlice wraps the given data in a tensor of the given shape. The data is
+// NOT copied; the tensor aliases it. It panics if len(data) does not match
+// the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d != shape %v size %d", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Randn fills a new tensor with N(0, std) variates from r.
+func Randn(r *frand.RNG, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(r.NormFloat64() * std)
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with Uniform(lo, hi) variates from r.
+func RandUniform(r *frand.RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(r.Uniform(lo, hi))
+	}
+	return t
+}
+
+// Shape returns the tensor's shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NDim returns the number of dimensions.
+func (t *Tensor) NDim() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying flat buffer. Mutations are visible to the
+// tensor. Row-major order.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a view of t with a new shape of the same total size. The
+// view shares data with t. One dimension may be -1 to infer its size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n, infer := 1, -1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: Reshape with multiple -1 dims")
+			}
+			infer = i
+			continue
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	if infer >= 0 {
+		if n == 0 || len(t.data)%n != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dim for reshape %v of size %d", shape, len(t.data)))
+		}
+		s[infer] = len(t.data) / n
+		n *= s[infer]
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: reshape %v incompatible with size %d", shape, len(t.data)))
+	}
+	return &Tensor{shape: s, data: t.data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies o's data into t. Panics on shape-size mismatch.
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if len(t.data) != len(o.data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.data, o.data)
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v for shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// String renders a short description (shape + a few leading values).
+func (t *Tensor) String() string {
+	n := len(t.data)
+	if n > 8 {
+		n = 8
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.data[:n])
+}
+
+// HasNaN reports whether any element is NaN or infinite.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteTo serializes the tensor (shape + raw little-endian float32 data).
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	hdr := make([]byte, 4+4*len(t.shape))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(t.shape)))
+	for i, d := range t.shape {
+		binary.LittleEndian.PutUint32(hdr[4+4*i:], uint32(d))
+	}
+	n, err := w.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, 4*len(t.data))
+	for i, v := range t.data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	n, err = w.Write(buf)
+	written += int64(n)
+	return written, err
+}
+
+// ReadFrom deserializes a tensor previously written with WriteTo, replacing
+// t's shape and contents.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var read int64
+	var ndims [4]byte
+	n, err := io.ReadFull(r, ndims[:])
+	read += int64(n)
+	if err != nil {
+		return read, err
+	}
+	nd := int(binary.LittleEndian.Uint32(ndims[:]))
+	if nd > 8 {
+		return read, fmt.Errorf("tensor: implausible ndim %d", nd)
+	}
+	shapeBuf := make([]byte, 4*nd)
+	n, err = io.ReadFull(r, shapeBuf)
+	read += int64(n)
+	if err != nil {
+		return read, err
+	}
+	shape := make([]int, nd)
+	size := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(shapeBuf[4*i:]))
+		size *= shape[i]
+	}
+	buf := make([]byte, 4*size)
+	n, err = io.ReadFull(r, buf)
+	read += int64(n)
+	if err != nil {
+		return read, err
+	}
+	data := make([]float32, size)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	t.shape = shape
+	t.data = data
+	return read, nil
+}
