@@ -8,14 +8,18 @@ package heteroswitch
 // with cmd/heterobench for the recorded EXPERIMENTS.md numbers.
 
 import (
+	"fmt"
 	"testing"
 
 	"heteroswitch/internal/dataset"
 	"heteroswitch/internal/device"
 	"heteroswitch/internal/experiments"
+	"heteroswitch/internal/fl"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/isp"
+	"heteroswitch/internal/nn"
 	"heteroswitch/internal/scene"
+	"heteroswitch/internal/tensor"
 )
 
 // benchOpts is the per-iteration scale used by the experiment benchmarks:
@@ -61,6 +65,61 @@ func BenchmarkAblationDegrees(b *testing.B)  { runExperiment(b, "ablation-degree
 // BenchmarkUnseenDeviceDG evaluates trained models on device profiles that
 // never appeared in training — true out-of-distribution devices.
 func BenchmarkUnseenDeviceDG(b *testing.B) { runExperiment(b, "unseen-dg") }
+
+// Aggregation-pipeline benchmarks ---------------------------------------------
+
+// benchServer builds a K-client federation over a ~10k-parameter dense model
+// with tiny per-client datasets, so weight-snapshot traffic dominates the
+// allocation profile of a round.
+func benchServer(b *testing.B, k, workers int, barrier bool) *fl.Server {
+	b.Helper()
+	r := frand.New(99)
+	clients := make([]*fl.Client, k)
+	for i := range clients {
+		ds := &dataset.Dataset{NumClasses: 2}
+		for j := 0; j < 2; j++ {
+			x := tensor.Randn(r, 0.5, 1, 8, 8)
+			ds.Samples = append(ds.Samples, dataset.Sample{X: x, Label: j % 2})
+		}
+		clients[i] = fl.NewClient(i, 0, ds, 99)
+	}
+	builder := func() *nn.Network {
+		br := frand.New(7)
+		return nn.NewNetwork(nn.NewFlatten(), nn.NewDense(br, 64, 128), nn.NewReLU(), nn.NewDense(br, 128, 10))
+	}
+	cfg := fl.Config{
+		Rounds: 1, ClientsPerRound: k, BatchSize: 2, LocalEpochs: 1,
+		LR: 0.1, Seed: 1, Workers: workers, DisableStreaming: barrier,
+	}
+	srv, err := fl.NewServer(cfg, builder, nn.SoftmaxCrossEntropy{}, fl.FedAvg{}, clients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// BenchmarkServerRound measures one communication round at K∈{8,64,512}
+// participants on both aggregation paths. The acceptance target: on the
+// streaming path, weight-buffer allocations scale with Workers, not K
+// (compare B/op of streaming vs barrier at K=512).
+func BenchmarkServerRound(b *testing.B) {
+	const workers = 4
+	for _, k := range []int{8, 64, 512} {
+		for _, mode := range []struct {
+			name    string
+			barrier bool
+		}{{"streaming", false}, {"barrier", true}} {
+			b.Run(fmt.Sprintf("K=%d/W=%d/%s", k, workers, mode.name), func(b *testing.B) {
+				srv := benchServer(b, k, workers, mode.barrier)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					srv.RunRound(i)
+				}
+			})
+		}
+	}
+}
 
 // Substrate micro-benchmarks ---------------------------------------------------
 

@@ -59,6 +59,7 @@ func main() {
 		perClass = flag.Int("per-class", 12, "training scenes per class per device")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		workers  = flag.Int("workers", 4, "parallel client trainers")
+		barrier  = flag.Bool("barrier", false, "force legacy barrier aggregation (materialize all K snapshots)")
 		logEvery = flag.Int("log-every", 10, "print loss every N rounds")
 	)
 	flag.Parse()
@@ -81,13 +82,14 @@ func main() {
 		fatal(err)
 	}
 	cfg := fl.Config{
-		Rounds:          *rounds,
-		ClientsPerRound: *k,
-		BatchSize:       *batch,
-		LocalEpochs:     *epochs,
-		LR:              *lr,
-		Seed:            *seed,
-		Workers:         *workers,
+		Rounds:           *rounds,
+		ClientsPerRound:  *k,
+		BatchSize:        *batch,
+		LocalEpochs:      *epochs,
+		LR:               *lr,
+		Seed:             *seed,
+		Workers:          *workers,
+		DisableStreaming: *barrier,
 	}
 	counts := experiments.MarketShareCounts(dd, *clients)
 	pop, err := fl.BuildPopulation(dd.Train, counts, *seed)

@@ -28,6 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		seed    = flag.Uint64("seed", 42, "master random seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = auto)")
+		barrier = flag.Bool("barrier", false, "force legacy barrier aggregation instead of streaming")
 		list    = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 	if *workers > 0 {
 		opts.Workers = *workers
 	}
+	opts.DisableStreaming = *barrier
 
 	names := []string{*exp}
 	if *exp == "all" {

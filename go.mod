@@ -1,0 +1,3 @@
+module heteroswitch
+
+go 1.24

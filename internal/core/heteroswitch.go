@@ -114,14 +114,24 @@ func (h *HeteroSwitch) LocalUpdate(ctx *fl.ClientContext) fl.ClientResult {
 	// Lines 9-21: local SGD; when Switch 1 is on, maintain the per-batch
 	// weight average W_SWA (SWAD — denser than SWA's per-epoch averaging).
 	useSWAD := switch1 && h.Mode != ModeTransformOnly
-	var swa nn.Weights
+	var swa, batchBuf nn.Weights
 	var batchHook fl.BatchHook
 	if useSWAD {
 		swa = ctx.Net.Snapshot() // line 10: initialize W_SWA as a copy of W
+		// Per-batch snapshot buffer: the server's per-worker scratch is free
+		// until SnapshotWeights (after training), so alias it instead of
+		// allocating a full model copy per SWAD client.
+		if ctx.Scratch != nil {
+			batchBuf = *ctx.Scratch
+		} else {
+			batchBuf = ctx.Net.Snapshot()
+		}
 		batchHook = func(net *nn.Network, batchIdx int) {
 			// Line 17: W_SWA ← (W_SWA·Idx_b + W) / (Idx_b + 1)
-			w := net.Snapshot()
-			swa.Lerp(float32(1.0/float64(batchIdx+1)), w)
+			if err := net.SnapshotInto(batchBuf); err != nil {
+				panic("core: SWAD snapshot buffer: " + err.Error())
+			}
+			swa.Lerp(float32(1.0/float64(batchIdx+1)), batchBuf)
 		}
 	}
 	trainLoss := fl.TrainLocal(ctx.Net, data, ctx.Cfg, ctx.Loss, ctx.RNG, nil, batchHook)
@@ -142,7 +152,7 @@ func (h *HeteroSwitch) LocalUpdate(ctx *fl.ClientContext) fl.ClientResult {
 	if switch2 && useSWAD {
 		weights = swa
 	} else {
-		weights = ctx.Net.Snapshot()
+		weights = ctx.SnapshotWeights()
 	}
 	return fl.ClientResult{
 		ClientID: ctx.Client.ID, DeviceIdx: ctx.Client.Device,
@@ -152,8 +162,27 @@ func (h *HeteroSwitch) LocalUpdate(ctx *fl.ClientContext) fl.ClientResult {
 	}
 }
 
+// updateLEMA advances the eq. 1 EMA with the round's sample-weighted mean
+// train loss (NaN/Inf rounds are skipped so a diverged client cannot poison
+// the switching signal).
+func (h *HeteroSwitch) updateLEMA(lcur float64) {
+	if math.IsNaN(lcur) || math.IsInf(lcur, 0) {
+		return
+	}
+	h.mu.Lock()
+	if h.hasLEMA {
+		h.lema = h.Alpha*lcur + (1-h.Alpha)*h.lema // eq. 1
+	} else {
+		h.lema = lcur
+		h.hasLEMA = true
+	}
+	h.mu.Unlock()
+}
+
 // Aggregate implements fl.Strategy: FedAvg aggregation plus the eq. 1 EMA
-// update over the round's sample-weighted mean train loss.
+// update over the round's sample-weighted mean train loss. This is the
+// barrier fallback; the streaming path below computes the same quantities
+// per-result.
 func (h *HeteroSwitch) Aggregate(global nn.Weights, results []fl.ClientResult, cfg fl.Config) nn.Weights {
 	if len(results) == 0 {
 		return global
@@ -165,20 +194,52 @@ func (h *HeteroSwitch) Aggregate(global nn.Weights, results []fl.ClientResult, c
 		lcur += r.TrainLoss * float64(r.NumSamples)
 		total += float64(r.NumSamples)
 	}
-	lcur /= total
-	if math.IsNaN(lcur) || math.IsInf(lcur, 0) {
-		return out
-	}
-	h.mu.Lock()
-	if h.hasLEMA {
-		h.lema = h.Alpha*lcur + (1-h.Alpha)*h.lema // eq. 1
-	} else {
-		h.lema = lcur
-		h.hasLEMA = true
-	}
-	h.mu.Unlock()
+	h.updateLEMA(lcur / total)
 	return out
 }
 
-// interface conformance check
-var _ fl.Strategy = (*HeteroSwitch)(nil)
+// accumulator streams HeteroSwitch aggregation: the weight fold is FedAvg's,
+// and the eq. 1 inputs (Σ L_train·n, Σ n) fold per-result alongside it, so
+// switching semantics are identical to the barrier path.
+type accumulator struct {
+	weights fl.Accumulator
+	h       *HeteroSwitch
+	lossSum float64 // Σ L_train,k · n_k over this shard
+	total   float64 // Σ n_k over this shard
+}
+
+// NewAccumulator implements fl.StreamingAggregator.
+func (h *HeteroSwitch) NewAccumulator(global nn.Weights, cfg fl.Config) fl.Accumulator {
+	return &accumulator{weights: fl.FedAvg{}.NewAccumulator(global, cfg), h: h}
+}
+
+// Accumulate implements fl.Accumulator.
+func (a *accumulator) Accumulate(r fl.ClientResult) {
+	a.weights.Accumulate(r)
+	n := float64(r.NumSamples)
+	a.lossSum += r.TrainLoss * n
+	a.total += n
+}
+
+// Merge implements fl.Accumulator.
+func (a *accumulator) Merge(other fl.Accumulator) {
+	b := other.(*accumulator)
+	a.weights.Merge(b.weights)
+	a.lossSum += b.lossSum
+	a.total += b.total
+}
+
+// Finalize implements fl.Accumulator.
+func (a *accumulator) Finalize() nn.Weights {
+	out := a.weights.Finalize()
+	if a.total > 0 {
+		a.h.updateLEMA(a.lossSum / a.total)
+	}
+	return out
+}
+
+// interface conformance checks
+var (
+	_ fl.Strategy            = (*HeteroSwitch)(nil)
+	_ fl.StreamingAggregator = (*HeteroSwitch)(nil)
+)

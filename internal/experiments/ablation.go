@@ -34,13 +34,14 @@ func ablationRig(opts Options) (func(name string, strat fl.Strategy) (MethodScor
 		return nil, err
 	}
 	cfg := fl.Config{
-		Rounds:          opts.scaled(80),
-		ClientsPerRound: 12,
-		BatchSize:       10,
-		LocalEpochs:     1,
-		LR:              0.1,
-		Seed:            opts.Seed,
-		Workers:         opts.Workers,
+		Rounds:           opts.scaled(80),
+		ClientsPerRound:  12,
+		BatchSize:        10,
+		LocalEpochs:      1,
+		LR:               0.1,
+		Seed:             opts.Seed,
+		Workers:          opts.Workers,
+		DisableStreaming: opts.DisableStreaming,
 	}
 	counts := MarketShareCounts(dd, opts.scaled(60))
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)

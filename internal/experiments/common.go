@@ -36,6 +36,11 @@ type Options struct {
 	Workers int
 	// OutRes is the model input resolution.
 	OutRes int
+	// DisableStreaming forces the legacy barrier aggregation in every
+	// harness (fl.Config.DisableStreaming): all K client snapshots are
+	// materialized before aggregating. The streaming shard-parallel path is
+	// the default; this is the A/B knob for memory/latency comparisons.
+	DisableStreaming bool
 }
 
 // DefaultOptions returns the standard configuration (Scale 1).

@@ -1,0 +1,99 @@
+package fl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+)
+
+// Mid-run round-trip: checkpoint after a few rounds, restore into a fresh
+// server, and verify the restored state is exactly the saved state and that
+// training can continue from it without corruption.
+func TestCheckpointMidRunRoundtrip(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 2)
+	for round := 0; round < 5; round++ {
+		srv.RunRound(round)
+	}
+	var buf bytes.Buffer
+	if err := srv.SaveCheckpoint(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	saved := srv.Global.Clone()
+
+	restored := fixtureServer(t, FedAvg{}, 2)
+	round, err := restored.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 5 {
+		t.Fatalf("restored round %d, want 5", round)
+	}
+	for i := range saved.Params {
+		if !restored.Global.Params[i].AllClose(saved.Params[i], 0) {
+			t.Fatalf("param %d differs from the mid-run snapshot", i)
+		}
+	}
+	// The restored server must be able to keep training (streaming path).
+	stats := restored.RunRound(round)
+	if math.IsNaN(stats.MeanLoss) || stats.MeanLoss <= 0 {
+		t.Fatalf("continuation round after restore produced loss %v", stats.MeanLoss)
+	}
+}
+
+// A header shorter than 8 bytes must be rejected without touching state.
+func TestCheckpointTruncatedHeader(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	before := srv.Global.Clone()
+	for _, n := range []int{0, 1, 7} {
+		if _, err := srv.LoadCheckpoint(bytes.NewReader(make([]byte, n))); err == nil {
+			t.Fatalf("%d-byte header accepted", n)
+		}
+	}
+	for i := range before.Params {
+		if !srv.Global.Params[i].AllClose(before.Params[i], 0) {
+			t.Fatal("failed restore mutated the global weights")
+		}
+	}
+}
+
+// A checkpoint cut off mid-weights must be rejected.
+func TestCheckpointTruncatedWeights(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	var buf bytes.Buffer
+	if err := srv.SaveCheckpoint(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, len(full) / 2, len(full) - 1} {
+		if _, err := srv.LoadCheckpoint(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("checkpoint truncated at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+// Weights from a different architecture must be rejected and leave the
+// server's weights untouched.
+func TestCheckpointArchitectureMismatch(t *testing.T) {
+	srv := fixtureServer(t, FedAvg{}, 1)
+	before := srv.Global.Clone()
+
+	// A real, valid checkpoint — just for the wrong model.
+	other := nn.NewNetwork(nn.NewFlatten(), nn.NewDense(frand.New(1), 16, 5))
+	var buf bytes.Buffer
+	var hdr [8]byte
+	buf.Write(hdr[:])
+	if _, err := other.Snapshot().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.LoadCheckpoint(&buf); err == nil {
+		t.Fatal("architecture-incompatible checkpoint accepted")
+	}
+	for i := range before.Params {
+		if !srv.Global.Params[i].AllClose(before.Params[i], 0) {
+			t.Fatal("rejected checkpoint still mutated the global weights")
+		}
+	}
+}

@@ -23,6 +23,9 @@ type Server struct {
 	rng     *frand.RNG
 	// worker-owned network replicas, one per worker
 	nets []*nn.Network
+	// pool recycles per-worker snapshot scratch buffers on the streaming
+	// path; it holds at most len(nets) buffers at rest.
+	pool weightsPool
 }
 
 // NewServer builds a server with a fresh global model from the builder.
@@ -83,6 +86,17 @@ func weightBytes(w Weights) int64 {
 type Weights = nn.Weights
 
 // RunRound executes one communication round and returns its stats.
+//
+// When the strategy implements StreamingAggregator (and streaming is not
+// disabled), each worker folds its clients' results into a private shard
+// accumulator as they finish — reusing one pooled snapshot buffer per
+// worker — and the shards are merged tree-style at round end. Peak weight
+// memory is then O(workers) instead of O(K). On this path clients are
+// assigned to workers in contiguous index blocks, not via a dynamic queue,
+// so shard contents (and thus the fold order) are deterministic across
+// runs. The barrier fallback keeps the original dynamic work queue:
+// aggregation there happens in client order on the main goroutine, so
+// scheduling cannot affect results and load balancing is free.
 func (s *Server) RunRound(round int) RoundStats {
 	sampled := s.SampleClients()
 	var dropped []int
@@ -107,37 +121,70 @@ func (s *Server) RunRound(round int) RoundStats {
 	if workers > len(sampled) {
 		workers = len(sampled)
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(net *nn.Network) {
-			defer wg.Done()
-			for i := range jobs {
-				client := sampled[i]
-				if err := net.LoadWeights(s.Global); err != nil {
-					panic("fl: replica incompatible with global weights: " + err.Error())
-				}
-				ctx := &ClientContext{
-					Net:    net,
-					Global: s.Global,
-					Client: client,
-					Cfg:    s.Cfg,
-					Loss:   s.Loss,
-					Round:  round,
-					RNG:    client.RoundRNG(round),
-				}
-				results[i] = s.Strategy.LocalUpdate(ctx)
-			}
-		}(s.nets[w])
-	}
-	for i := range sampled {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	sa, streaming := s.Strategy.(StreamingAggregator)
+	streaming = streaming && !s.Cfg.DisableStreaming
 
-	s.Global = s.Strategy.Aggregate(s.Global, results, s.Cfg)
+	runClient := func(net *nn.Network, i int, scratch *nn.Weights) ClientResult {
+		client := sampled[i]
+		if err := net.LoadWeights(s.Global); err != nil {
+			panic("fl: replica incompatible with global weights: " + err.Error())
+		}
+		ctx := &ClientContext{
+			Net:     net,
+			Global:  s.Global,
+			Client:  client,
+			Cfg:     s.Cfg,
+			Loss:    s.Loss,
+			Round:   round,
+			RNG:     client.RoundRNG(round),
+			Scratch: scratch,
+		}
+		return s.Strategy.LocalUpdate(ctx)
+	}
+
+	var wg sync.WaitGroup
+	if streaming {
+		accs := make([]Accumulator, workers)
+		for w := 0; w < workers; w++ {
+			lo := w * len(sampled) / workers
+			hi := (w + 1) * len(sampled) / workers
+			wg.Add(1)
+			go func(w, lo, hi int, net *nn.Network) {
+				defer wg.Done()
+				acc := sa.NewAccumulator(s.Global, s.Cfg)
+				accs[w] = acc
+				scratch := s.pool.get(s.Global)
+				defer s.pool.put(scratch)
+				for i := lo; i < hi; i++ {
+					res := runClient(net, i, &scratch)
+					acc.Accumulate(res)
+					// The weights may alias the scratch buffer and have
+					// been folded already; keep only the scalar stats.
+					res.Weights = Weights{}
+					results[i] = res
+				}
+			}(w, lo, hi, s.nets[w])
+		}
+		wg.Wait()
+		s.Global = mergeShards(accs)
+	} else {
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(net *nn.Network) {
+				defer wg.Done()
+				for i := range jobs {
+					results[i] = runClient(net, i, nil)
+				}
+			}(s.nets[w])
+		}
+		for i := range sampled {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		s.Global = s.Strategy.Aggregate(s.Global, results, s.Cfg)
+	}
 
 	stats := RoundStats{Round: round, Dropped: dropped}
 	wb := weightBytes(s.Global)

@@ -22,7 +22,9 @@ func weightedAverage(results []ClientResult) nn.Weights {
 }
 
 // FedAvg is McMahan et al.'s federated averaging: plain local SGD and
-// sample-weighted model averaging. The paper's baseline.
+// sample-weighted model averaging. The paper's baseline. It implements
+// StreamingAggregator (see streaming.go), so the server aggregates it
+// shard-parallel without materializing all K snapshots.
 type FedAvg struct{}
 
 // Name implements Strategy.
@@ -35,7 +37,7 @@ func (FedAvg) LocalUpdate(ctx *ClientContext) ClientResult {
 	return ClientResult{
 		ClientID: ctx.Client.ID, DeviceIdx: ctx.Client.Device,
 		NumSamples: ctx.Client.Data.Len(),
-		Weights:    ctx.Net.Snapshot(),
+		Weights:    ctx.SnapshotWeights(),
 		TrainLoss:  trainLoss, InitLoss: init,
 	}
 }
@@ -74,7 +76,7 @@ func (p *FedProx) LocalUpdate(ctx *ClientContext) ClientResult {
 	return ClientResult{
 		ClientID: ctx.Client.ID, DeviceIdx: ctx.Client.Device,
 		NumSamples: ctx.Client.Data.Len(),
-		Weights:    ctx.Net.Snapshot(),
+		Weights:    ctx.SnapshotWeights(),
 		TrainLoss:  trainLoss, InitLoss: init,
 	}
 }

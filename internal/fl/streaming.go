@@ -1,0 +1,180 @@
+package fl
+
+import (
+	"sync"
+
+	"heteroswitch/internal/nn"
+)
+
+// StreamingAggregator is an optional Strategy capability: strategies whose
+// aggregation rule folds one client result at a time (FedAvg and friends)
+// implement it so the server can stream aggregation instead of materializing
+// all K client weight snapshots behind a round barrier. Each worker goroutine
+// folds its clients into a private shard Accumulator; shards are merged
+// tree-style at round end. Peak weight memory is then O(workers), not O(K).
+//
+// Strategies that genuinely need every result at once (q-FedAvg's normalized
+// step) simply don't implement this interface and keep the legacy
+// Strategy.Aggregate path.
+type StreamingAggregator interface {
+	// NewAccumulator returns a fresh shard accumulator for one round. It is
+	// called once per worker; the returned accumulator is used from that
+	// worker's goroutine only, until Merge/Finalize on the main goroutine.
+	NewAccumulator(global nn.Weights, cfg Config) Accumulator
+}
+
+// Accumulator folds client results into running aggregation state.
+type Accumulator interface {
+	// Accumulate folds one client's result into the shard. The result's
+	// weight buffers may be reused by the caller immediately afterwards, so
+	// implementations must not retain them.
+	Accumulate(result ClientResult)
+	// Merge absorbs another accumulator produced by the same
+	// StreamingAggregator for the same round.
+	Merge(other Accumulator)
+	// Finalize returns the round's new global weights. Called once, on the
+	// root accumulator after all shards are merged. With no accumulated
+	// results it returns the unchanged global weights.
+	Finalize() nn.Weights
+}
+
+// fedAvgAccumulator streams the sample-count-weighted average. Sums are kept
+// in float64 and rounded to float32 exactly once, in Finalize, so the
+// shard-merge order (which depends on the worker count) perturbs the result
+// by at most double-precision rounding — in practice below float32
+// resolution. Combined with the server's static client→worker assignment,
+// runs with a fixed config are bit-reproducible, matching what the barrier
+// path guaranteed by aggregating in client order on one goroutine.
+type fedAvgAccumulator struct {
+	global nn.Weights
+	params [][]float64 // Σ n_k · w_k per param tensor
+	states [][]float64 // Σ n_k · s_k per state tensor
+	total  float64     // Σ n_k
+}
+
+// NewAccumulator implements StreamingAggregator for FedAvg.
+func (FedAvg) NewAccumulator(global nn.Weights, cfg Config) Accumulator {
+	a := &fedAvgAccumulator{
+		global: global,
+		params: make([][]float64, len(global.Params)),
+		states: make([][]float64, len(global.States)),
+	}
+	for i, p := range global.Params {
+		a.params[i] = make([]float64, p.Size())
+	}
+	for i, s := range global.States {
+		a.states[i] = make([]float64, s.Size())
+	}
+	return a
+}
+
+// NewAccumulator implements StreamingAggregator: FedProx aggregates exactly
+// like FedAvg (the proximal term only changes the local objective).
+func (p *FedProx) NewAccumulator(global nn.Weights, cfg Config) Accumulator {
+	return FedAvg{}.NewAccumulator(global, cfg)
+}
+
+// Accumulate implements Accumulator.
+func (a *fedAvgAccumulator) Accumulate(r ClientResult) {
+	// Fail as loudly as the barrier path's weightedAverage would: a short
+	// result would otherwise grow total without touching the sums, silently
+	// shrinking the aggregate toward zero.
+	if len(r.Weights.Params) != len(a.params) || len(r.Weights.States) != len(a.states) {
+		panic("fl: streamed result weight count incompatible with accumulator")
+	}
+	n := float64(r.NumSamples)
+	for i, p := range r.Weights.Params {
+		dst, src := a.params[i], p.Data()
+		for j, v := range src {
+			dst[j] += n * float64(v)
+		}
+	}
+	for i, s := range r.Weights.States {
+		dst, src := a.states[i], s.Data()
+		for j, v := range src {
+			dst[j] += n * float64(v)
+		}
+	}
+	a.total += n
+}
+
+// Merge implements Accumulator.
+func (a *fedAvgAccumulator) Merge(other Accumulator) {
+	b := other.(*fedAvgAccumulator)
+	for i, src := range b.params {
+		dst := a.params[i]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	for i, src := range b.states {
+		dst := a.states[i]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	a.total += b.total
+}
+
+// Finalize implements Accumulator.
+func (a *fedAvgAccumulator) Finalize() nn.Weights {
+	if a.total == 0 {
+		return a.global
+	}
+	inv := 1.0 / a.total
+	out := a.global.Zero()
+	for i, sum := range a.params {
+		dst := out.Params[i].Data()
+		for j, v := range sum {
+			dst[j] = float32(v * inv)
+		}
+	}
+	for i, sum := range a.states {
+		dst := out.States[i].Data()
+		for j, v := range sum {
+			dst[j] = float32(v * inv)
+		}
+	}
+	return out
+}
+
+// mergeShards folds accs[1:] into accs[0] tree-style (pairwise, doubling
+// stride) and finalizes the root. Tree order keeps the merge O(log W) deep;
+// the accumulators' float64 sums make the order numerically immaterial.
+func mergeShards(accs []Accumulator) nn.Weights {
+	for stride := 1; stride < len(accs); stride *= 2 {
+		for i := 0; i+stride < len(accs); i += 2 * stride {
+			accs[i].Merge(accs[i+stride])
+		}
+	}
+	return accs[0].Finalize()
+}
+
+// weightsPool recycles weight-snapshot buffers across rounds so the
+// streaming path's per-worker scratch costs one allocation per worker for
+// the server's lifetime, not one per client per round.
+type weightsPool struct {
+	mu   sync.Mutex
+	free []nn.Weights
+}
+
+// get returns a pooled buffer shaped like the reference weights, allocating
+// only when the pool is empty.
+func (p *weightsPool) get(like nn.Weights) nn.Weights {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return w
+	}
+	p.mu.Unlock()
+	return like.Clone()
+}
+
+// put returns a buffer to the pool.
+func (p *weightsPool) put(w nn.Weights) {
+	p.mu.Lock()
+	p.free = append(p.free, w)
+	p.mu.Unlock()
+}

@@ -53,9 +53,17 @@ func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
 	for i := range order {
 		order[i] = i
 	}
+	// One reusable shuffled view: only the sample headers move per epoch,
+	// instead of allocating a fresh Subset dataset every epoch.
+	shuffled := &dataset.Dataset{
+		Samples:    make([]dataset.Sample, ds.Len()),
+		NumClasses: ds.NumClasses,
+	}
 	for e := 0; e < cfg.LocalEpochs; e++ {
 		rng.ShuffleInts(order)
-		shuffled := ds.Subset(order)
+		for i, j := range order {
+			shuffled.Samples[i] = ds.Samples[j]
+		}
 		for lo := 0; lo < shuffled.Len(); lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
 			if hi > shuffled.Len() {

@@ -46,8 +46,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward accumulates dW = xᵀ @ dy, db = Σ dy, and returns dx = dy @ Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dw := tensor.MatMulTransA(d.x, grad)
-	d.W.Grad.AddInPlace(dw)
+	tensor.MatMulTransAAccInto(d.W.Grad, d.x, grad) // Grad += xᵀ @ dy, no temporary
 	n, out := grad.Dim(0), d.Out
 	gd, bg := grad.Data(), d.B.Grad.Data()
 	for i := 0; i < n; i++ {

@@ -133,6 +133,32 @@ func (n *Network) Snapshot() Weights {
 	return w
 }
 
+// SnapshotInto copies all parameters and states into w's existing tensors,
+// avoiding the allocations of Snapshot. w must have been created from the
+// same architecture (e.g. by Snapshot or Weights.Clone); any shape mismatch
+// is an error and leaves w partially written.
+func (n *Network) SnapshotInto(w Weights) error {
+	ps := n.Params()
+	ss := n.States()
+	if len(ps) != len(w.Params) || len(ss) != len(w.States) {
+		return fmt.Errorf("nn: snapshot buffer mismatch: have %d/%d tensors, network has %d/%d",
+			len(w.Params), len(w.States), len(ps), len(ss))
+	}
+	for i, p := range ps {
+		if p.W.Size() != w.Params[i].Size() {
+			return fmt.Errorf("nn: snapshot param %d (%s) size %d != buffer %d", i, p.Name, p.W.Size(), w.Params[i].Size())
+		}
+		w.Params[i].CopyFrom(p.W)
+	}
+	for i, s := range ss {
+		if s.Size() != w.States[i].Size() {
+			return fmt.Errorf("nn: snapshot state %d size %d != buffer %d", i, s.Size(), w.States[i].Size())
+		}
+		w.States[i].CopyFrom(s)
+	}
+	return nil
+}
+
 // LoadWeights copies the given weights into the network's parameters and
 // states. It returns an error on any shape mismatch.
 func (n *Network) LoadWeights(w Weights) error {

@@ -102,13 +102,27 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMulTransA needs 2-D tensors")
 	}
+	out := New(a.shape[1], b.shape[1])
+	MatMulTransAAccInto(out, a, b)
+	return out
+}
+
+// MatMulTransAAccInto computes out += aᵀ @ b for a[k,m] and b[k,n] into the
+// existing [m,n] tensor — the allocation-free weight-gradient accumulation
+// (Grad += xᵀ @ dy) on the per-batch training hot path.
+func MatMulTransAAccInto(out, a, b *Tensor) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransAAccInto needs 2-D tensors")
+	}
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMulTransAAccInto inner dims %d != %d", k, k2))
 	}
-	out := New(m, n)
-	// out[i,j] = Σ_x a[x,i] b[x,j]: accumulate outer products row by row.
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAAccInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	// out[i,j] += Σ_x a[x,i] b[x,j]: accumulate outer products row by row.
 	for x := 0; x < k; x++ {
 		arow := a.data[x*m : x*m+m]
 		brow := b.data[x*n : x*n+n]
@@ -122,7 +136,6 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 func min(a, b int) int {
