@@ -121,6 +121,61 @@ func BenchmarkServerRound(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainLocal measures the per-client training hot path in isolation:
+// one fl.TrainLocal call (all epochs × batches) per iteration. With the
+// per-network tensor arena, steady-state allocs/op must not scale with
+// batches × layers — this is the allocation-side acceptance benchmark for
+// the zero-allocation training loop.
+func BenchmarkTrainLocal(b *testing.B) {
+	cases := []struct {
+		name    string
+		shape   []int
+		builder func() *nn.Network
+	}{
+		{"MLP", []int{1, 8, 8}, func() *nn.Network {
+			br := frand.New(7)
+			return nn.NewNetwork(
+				nn.NewFlatten(),
+				nn.NewDense(br, 64, 64), nn.NewReLU(),
+				nn.NewDense(br, 64, 4),
+			)
+		}},
+		{"ConvNet", []int{1, 8, 8}, func() *nn.Network {
+			br := frand.New(7)
+			return nn.NewNetwork(
+				nn.NewConv2D(br, 1, 4, 3, 1, 1, 1),
+				nn.NewBatchNorm2D(4),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2, 2),
+				nn.NewFlatten(),
+				nn.NewDense(br, 4*4*4, 4),
+			)
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			r := frand.New(17)
+			ds := &dataset.Dataset{NumClasses: 4}
+			for i := 0; i < 64; i++ {
+				ds.Samples = append(ds.Samples, dataset.Sample{
+					X: tensor.Randn(r, 0.5, tc.shape...), Label: i % 4,
+				})
+			}
+			net := tc.builder()
+			cfg := fl.Config{
+				Rounds: 1, ClientsPerRound: 1, BatchSize: 8, LocalEpochs: 2,
+				LR: 0.05, Seed: 1,
+			}
+			rng := frand.New(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fl.TrainLocal(net, ds, cfg, nn.SoftmaxCrossEntropy{}, rng, nil, nil)
+			}
+		})
+	}
+}
+
 // Substrate micro-benchmarks ---------------------------------------------------
 
 // BenchmarkDeviceCapture measures one full sensor+ISP capture of a 64x64

@@ -43,6 +43,44 @@
 // barrier; fl.Config.DisableStreaming forces that fallback everywhere for
 // A/B comparisons (flsim -barrier, experiments.Options.DisableStreaming).
 //
+// # Arena-backed zero-allocation training hot path
+//
+// Every nn.Network owns a tensor.Arena, a shape-keyed recycler of per-batch
+// tensors. Layers draw their outputs, input gradients, and scratch tensors
+// from it, and the network resets the arena at the top of each Forward; the
+// im2col-lowered convolution kernels and the register-tiled matmuls
+// (tensor.MatMul*, 4-wide column unrolling, bit-identical op order per
+// accumulation target) run on those recycled buffers, so the steady state of
+// fl.TrainLocal performs no heap allocation at all (BenchmarkTrainLocal:
+// ≥99% fewer allocs/op than per-batch allocation).
+//
+// Ownership rules — who may retain a tensor across a Reset:
+//
+//   - Tensors returned by Network.Forward (and anything a layer allocated
+//     from the arena) are valid only until the NEXT Forward on that network.
+//     Callers that keep an output across batches must Clone it first.
+//   - Network.Backward's return value survives later Forward passes: the
+//     owning network copies the final input gradient into a small per-size
+//     cache outside the arena (the numerical gradient checker depends on
+//     this). It is still only valid until the NEXT Backward with a
+//     same-size gradient, which reuses the cached buffer.
+//   - Anything that outlives a batch must never come from the arena:
+//     parameters, gradient accumulators, optimizer state, running BN
+//     statistics, and weight snapshots all use plain tensor.New.
+//   - Layer caches written in Forward and read in the matching Backward
+//     (BatchNorm's xhat, Dense's input reference, conv's column matrices)
+//     MAY live in the arena: within one Reset-to-Reset window the arena
+//     never hands out the same buffer twice.
+//   - A nested Network embedded as a layer adopts its parent's arena via
+//     SetArena and neither resets it nor detaches gradients — exactly one
+//     owner resets per batch. SetArena(nil) disables recycling entirely
+//     (the equivalence tests A/B this against the arena-backed path and
+//     require bit-identical weights).
+//   - Networks (and so arenas) are per-goroutine; the fl server keeps one
+//     replica per worker. The loop-side batch buffers (inputs, targets,
+//     loss gradient via nn.LossInto.EvalInto) recycle through a pooled
+//     scratch arena in fl, reset per batch before Forward runs.
+//
 // The root package exists to carry the repository-level benchmarks in
 // bench_test.go, one per table and figure of the paper's evaluation, plus
 // the aggregation-pipeline benchmarks.

@@ -213,6 +213,18 @@ func (h *HeteroSwitch) NewAccumulator(global nn.Weights, cfg fl.Config) fl.Accum
 	return &accumulator{weights: fl.FedAvg{}.NewAccumulator(global, cfg), h: h}
 }
 
+// Reset implements fl.ResettableAccumulator, so the server reuses one
+// accumulator (and its model-sized float64 sums) per worker across rounds.
+func (a *accumulator) Reset(global nn.Weights, cfg fl.Config) {
+	if ra, ok := a.weights.(fl.ResettableAccumulator); ok {
+		ra.Reset(global, cfg)
+	} else {
+		a.weights = fl.FedAvg{}.NewAccumulator(global, cfg)
+	}
+	a.lossSum = 0
+	a.total = 0
+}
+
 // Accumulate implements fl.Accumulator.
 func (a *accumulator) Accumulate(r fl.ClientResult) {
 	a.weights.Accumulate(r)
@@ -240,6 +252,7 @@ func (a *accumulator) Finalize() nn.Weights {
 
 // interface conformance checks
 var (
-	_ fl.Strategy            = (*HeteroSwitch)(nil)
-	_ fl.StreamingAggregator = (*HeteroSwitch)(nil)
+	_ fl.Strategy              = (*HeteroSwitch)(nil)
+	_ fl.StreamingAggregator   = (*HeteroSwitch)(nil)
+	_ fl.ResettableAccumulator = (*accumulator)(nil)
 )

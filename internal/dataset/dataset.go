@@ -99,13 +99,29 @@ func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
 	shape := append([]int{n}, first.Shape()...)
 	x := tensor.New(shape...)
 	labels := make([]int, n)
-	per := first.Size()
+	d.BatchInto(x, labels, lo, hi)
+	return x, labels
+}
+
+// BatchInto fills x and labels with samples [lo, hi), the reuse-a-buffer form
+// of Batch for allocation-free training loops. x must be shaped
+// [hi-lo, sample...] (every element is overwritten) and labels must have
+// length hi-lo.
+func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, lo, hi int) {
+	n := hi - lo
+	per := d.Samples[lo].X.Size()
+	if x.Size() != n*per || len(labels) != n {
+		panic(fmt.Sprintf("dataset: BatchInto buffers (%d elems, %d labels) for %d samples of %d elems",
+			x.Size(), len(labels), n, per))
+	}
 	for i := 0; i < n; i++ {
 		s := d.Samples[lo+i]
+		if s.X.Size() != per {
+			panic(fmt.Sprintf("dataset: sample %d has %d elems, batch expects %d", lo+i, s.X.Size(), per))
+		}
 		copy(x.Data()[i*per:(i+1)*per], s.X.Data())
 		labels[i] = s.Label
 	}
-	return x, labels
 }
 
 // BatchMulti materializes samples [lo, hi) with their multi-label targets.
@@ -115,13 +131,31 @@ func (d *Dataset) BatchMulti(lo, hi int) (*tensor.Tensor, *tensor.Tensor) {
 	shape := append([]int{n}, first.Shape()...)
 	x := tensor.New(shape...)
 	y := tensor.New(n, d.NumClasses)
-	per := first.Size()
+	d.BatchMultiInto(x, y, lo, hi)
+	return x, y
+}
+
+// BatchMultiInto is the reuse-a-buffer form of BatchMulti: x must be
+// [hi-lo, sample...] and y must be [hi-lo, NumClasses]; every element of
+// both is overwritten.
+func (d *Dataset) BatchMultiInto(x, y *tensor.Tensor, lo, hi int) {
+	n := hi - lo
+	per := d.Samples[lo].X.Size()
+	if x.Size() != n*per || y.Size() != n*d.NumClasses {
+		panic(fmt.Sprintf("dataset: BatchMultiInto buffers (%d, %d elems) for %d samples of %d elems, %d classes",
+			x.Size(), y.Size(), n, per, d.NumClasses))
+	}
 	for i := 0; i < n; i++ {
 		s := d.Samples[lo+i]
+		// The buffers are reused uninitialized, so a short sample would
+		// silently leave the previous batch's data in place — fail loudly.
+		if s.X.Size() != per || len(s.Multi) != d.NumClasses {
+			panic(fmt.Sprintf("dataset: sample %d has %d elems / %d labels, batch expects %d / %d",
+				lo+i, s.X.Size(), len(s.Multi), per, d.NumClasses))
+		}
 		copy(x.Data()[i*per:(i+1)*per], s.X.Data())
 		copy(y.Data()[i*d.NumClasses:(i+1)*d.NumClasses], s.Multi)
 	}
-	return x, y
 }
 
 // CaptureMode selects how captured frames are developed.

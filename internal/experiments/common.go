@@ -115,7 +115,7 @@ func BuildDeviceData(opts Options, perClassTrain, perClassTest int, mode dataset
 	}
 	results := make([]result, len(profiles))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(opts.Workers, 1))
+	sem := make(chan struct{}, max(opts.Workers, 1))
 	for i, p := range profiles {
 		wg.Add(1)
 		go func(i int, p *device.Profile) {
@@ -265,7 +265,7 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[minInt(i, len(widths)-1)], c)
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
 		}
 		b.WriteByte('\n')
 	}
@@ -292,20 +292,6 @@ func sortedKeys[V any](m map[int]V) []int {
 	}
 	sort.Ints(keys)
 	return keys
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // lossCE returns the standard classification loss (helper so harness files

@@ -53,7 +53,7 @@ func Table6(opts Options) (*Table6Result, error) {
 	}
 	flCfg := fl.Config{
 		Rounds:           opts.scaled(80),
-		ClientsPerRound:  minInt(12, cfg.NumDeviceTypes),
+		ClientsPerRound:  min(12, cfg.NumDeviceTypes),
 		BatchSize:        6,
 		LocalEpochs:      1,
 		LR:               0.1,

@@ -108,7 +108,7 @@ func Fig9(opts Options) (*Fig9Result, error) {
 	tSweep := Fig9Sweep{Param: "rounds"}
 	for _, frac := range []float64{0.1, 0.5, 1.0} {
 		cfg := base
-		cfg.Rounds = maxInt(1, int(float64(baseRounds)*frac))
+		cfg.Rounds = max(1, int(float64(baseRounds)*frac))
 		acc, err := eval(cfg)
 		if err != nil {
 			return nil, err

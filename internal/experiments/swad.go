@@ -110,7 +110,7 @@ func trainWithAveraging(opts Options, train *dataset.Dataset, method Fig7Method,
 		tf := transforms[rng.Intn(len(transforms))]
 		aug := core.TransformDataset(shuffled, tf, rng)
 		for lo := 0; lo < aug.Len(); lo += batch {
-			hi := minInt(lo+batch, aug.Len())
+			hi := min(lo+batch, aug.Len())
 			x, labels := aug.Batch(lo, hi)
 			out := net.Forward(x, true)
 			_, grad := nn.SoftmaxCrossEntropy{}.Eval(out, nn.ClassTarget(labels))

@@ -1,0 +1,176 @@
+package fl
+
+import (
+	"testing"
+
+	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/tensor"
+)
+
+// arenaTestNet builds the small conv net used by the arena A/B tests.
+func arenaTestNet(seed uint64) *nn.Network {
+	r := frand.New(seed)
+	return nn.NewNetwork(
+		nn.NewConv2D(r, 1, 4, 3, 1, 1, 1),
+		nn.NewBatchNorm2D(4),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewDense(r, 4*4*4, 8),
+		nn.NewHardSwish(),
+		nn.NewDense(r, 8, 3),
+	)
+}
+
+func arenaTestData(seed uint64, n int) *dataset.Dataset {
+	r := frand.New(seed)
+	ds := &dataset.Dataset{NumClasses: 3}
+	for i := 0; i < n; i++ {
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X: tensor.Randn(r, 0.5, 1, 8, 8), Label: i % 3,
+		})
+	}
+	return ds
+}
+
+// The acceptance criterion of the zero-allocation hot path: training with
+// the arena enabled (default) must produce bit-identical weights to training
+// with the arena disabled — same ops, same order, just recycled buffers.
+// 22 samples against batch size 8 leaves a short tail batch, so the arena
+// recycles across two tensor shapes per epoch.
+func TestTrainLocalArenaBitIdenticalWeights(t *testing.T) {
+	cfg := Config{
+		Rounds: 1, ClientsPerRound: 1, BatchSize: 8, LocalEpochs: 3,
+		LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, Seed: 1,
+	}
+	ds := arenaTestData(21, 22)
+
+	withArena := arenaTestNet(9)
+	noArena := arenaTestNet(9)
+	noArena.SetArena(nil)
+
+	lossA := TrainLocal(withArena, ds, cfg, nn.SoftmaxCrossEntropy{}, frand.New(4), nil, nil)
+	lossB := TrainLocal(noArena, ds, cfg, nn.SoftmaxCrossEntropy{}, frand.New(4), nil, nil)
+	if lossA != lossB {
+		t.Fatalf("train losses diverged: %v (arena) vs %v (no arena)", lossA, lossB)
+	}
+
+	wa, wb := withArena.Snapshot(), noArena.Snapshot()
+	for i := range wa.Params {
+		if !wa.Params[i].AllClose(wb.Params[i], 0) {
+			t.Fatalf("param %d not bit-identical with arena enabled", i)
+		}
+	}
+	for i := range wa.States {
+		if !wa.States[i].AllClose(wb.States[i], 0) {
+			t.Fatalf("state %d not bit-identical with arena enabled", i)
+		}
+	}
+}
+
+// Same criterion on the multi-label path (dense targets through
+// BCEWithLogits and the pooled y-buffer in batchScratch).
+func TestTrainLocalArenaBitIdenticalMultiLabel(t *testing.T) {
+	cfg := Config{
+		Rounds: 1, ClientsPerRound: 1, BatchSize: 4, LocalEpochs: 2,
+		LR: 0.05, Seed: 1,
+	}
+	r := frand.New(31)
+	ds := &dataset.Dataset{NumClasses: 3}
+	for i := 0; i < 10; i++ {
+		multi := make([]float32, 3)
+		multi[i%3] = 1
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X: tensor.Randn(r, 0.5, 1, 8, 8), Label: -1, Multi: multi,
+		})
+	}
+
+	withArena := arenaTestNet(13)
+	noArena := arenaTestNet(13)
+	noArena.SetArena(nil)
+	TrainLocal(withArena, ds, cfg, nn.BCEWithLogits{}, frand.New(6), nil, nil)
+	TrainLocal(noArena, ds, cfg, nn.BCEWithLogits{}, frand.New(6), nil, nil)
+
+	wa, wb := withArena.Snapshot(), noArena.Snapshot()
+	for i := range wa.Params {
+		if !wa.Params[i].AllClose(wb.Params[i], 0) {
+			t.Fatalf("param %d not bit-identical on multi-label path", i)
+		}
+	}
+}
+
+// EvalLoss on the pooled scratch path must agree exactly with a network
+// running without any arena.
+func TestEvalLossArenaBitIdentical(t *testing.T) {
+	ds := arenaTestData(41, 11)
+	withArena := arenaTestNet(15)
+	noArena := arenaTestNet(15)
+	noArena.SetArena(nil)
+	la := EvalLoss(withArena, nn.SoftmaxCrossEntropy{}, ds, 4)
+	lb := EvalLoss(noArena, nn.SoftmaxCrossEntropy{}, ds, 4)
+	if la != lb {
+		t.Fatalf("EvalLoss diverged: %v (arena) vs %v (no arena)", la, lb)
+	}
+}
+
+// A reset accumulator must behave exactly like a freshly constructed one —
+// the contract that lets the server pool model-sized float64 sum buffers
+// across rounds.
+func TestFedAvgAccumulatorResetMatchesFresh(t *testing.T) {
+	r := frand.New(77)
+	round1 := randResults(r, 5, 12)
+	round2 := randResults(r, 7, 12)
+	global := round1[0].Weights.Zero()
+
+	pooled := FedAvg{}.NewAccumulator(global, Default())
+	for _, res := range round1 {
+		pooled.Accumulate(res)
+	}
+	_ = pooled.Finalize()
+
+	ra, ok := pooled.(ResettableAccumulator)
+	if !ok {
+		t.Fatal("FedAvg accumulator must be resettable")
+	}
+	ra.Reset(global, Default())
+	for _, res := range round2 {
+		ra.Accumulate(res)
+	}
+	got := ra.Finalize()
+
+	fresh := FedAvg{}.NewAccumulator(global, Default())
+	for _, res := range round2 {
+		fresh.Accumulate(res)
+	}
+	want := fresh.Finalize()
+
+	for i := range want.Params {
+		if !got.Params[i].AllClose(want.Params[i], 0) {
+			t.Fatalf("param %d: reset accumulator diverged from fresh one", i)
+		}
+	}
+	for i := range want.States {
+		if !got.States[i].AllClose(want.States[i], 0) {
+			t.Fatalf("state %d: reset accumulator diverged from fresh one", i)
+		}
+	}
+}
+
+// A reset-to-empty accumulator must finalize to the (new) global weights.
+func TestResetAccumulatorEmptyRound(t *testing.T) {
+	global := nn.Weights{Params: []*tensor.Tensor{tensor.Full(3, 4)}}
+	acc := FedAvg{}.NewAccumulator(global, Default())
+	acc.Accumulate(ClientResult{
+		NumSamples: 2,
+		Weights:    nn.Weights{Params: []*tensor.Tensor{tensor.Full(9, 4)}},
+	})
+	_ = acc.Finalize()
+	next := nn.Weights{Params: []*tensor.Tensor{tensor.Full(5, 4)}}
+	acc.(ResettableAccumulator).Reset(next, Default())
+	out := acc.Finalize()
+	if !out.Params[0].AllClose(next.Params[0], 0) {
+		t.Fatal("reset accumulator with no results did not return the new global weights")
+	}
+}

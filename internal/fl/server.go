@@ -26,6 +26,10 @@ type Server struct {
 	// pool recycles per-worker snapshot scratch buffers on the streaming
 	// path; it holds at most len(nets) buffers at rest.
 	pool weightsPool
+	// accs holds one shard accumulator per worker, reused across rounds
+	// when the strategy's accumulators are resettable (so the model-sized
+	// float64 sum buffers are allocated once per worker, not per round).
+	accs []Accumulator
 }
 
 // NewServer builds a server with a fresh global model from the builder.
@@ -144,15 +148,25 @@ func (s *Server) RunRound(round int) RoundStats {
 
 	var wg sync.WaitGroup
 	if streaming {
-		accs := make([]Accumulator, workers)
+		// Reuse one accumulator per worker across rounds (resetting when the
+		// strategy supports it), selected on the main goroutine so the shard
+		// state lives in exactly one place.
+		if s.accs == nil {
+			s.accs = make([]Accumulator, len(s.nets))
+		}
+		for w := 0; w < workers; w++ {
+			if ra, ok := s.accs[w].(ResettableAccumulator); ok {
+				ra.Reset(s.Global, s.Cfg)
+			} else {
+				s.accs[w] = sa.NewAccumulator(s.Global, s.Cfg)
+			}
+		}
 		for w := 0; w < workers; w++ {
 			lo := w * len(sampled) / workers
 			hi := (w + 1) * len(sampled) / workers
 			wg.Add(1)
-			go func(w, lo, hi int, net *nn.Network) {
+			go func(acc Accumulator, lo, hi int, net *nn.Network) {
 				defer wg.Done()
-				acc := sa.NewAccumulator(s.Global, s.Cfg)
-				accs[w] = acc
 				scratch := s.pool.get(s.Global)
 				defer s.pool.put(scratch)
 				for i := lo; i < hi; i++ {
@@ -163,10 +177,10 @@ func (s *Server) RunRound(round int) RoundStats {
 					res.Weights = Weights{}
 					results[i] = res
 				}
-			}(w, lo, hi, s.nets[w])
+			}(s.accs[w], lo, hi, s.nets[w])
 		}
 		wg.Wait()
-		s.Global = mergeShards(accs)
+		s.Global = mergeShards(s.accs[:workers])
 	} else {
 		jobs := make(chan int)
 		for w := 0; w < workers; w++ {

@@ -38,6 +38,16 @@ type Accumulator interface {
 	Finalize() nn.Weights
 }
 
+// ResettableAccumulator is an optional Accumulator capability: accumulators
+// whose state can be rewound implement it so the server reuses one
+// accumulator per worker for its whole lifetime instead of allocating
+// model-sized float64 sum buffers every round. Reset must leave the
+// accumulator exactly as NewAccumulator(global, cfg) would have.
+type ResettableAccumulator interface {
+	Accumulator
+	Reset(global nn.Weights, cfg Config)
+}
+
 // fedAvgAccumulator streams the sample-count-weighted average. Sums are kept
 // in float64 and rounded to float32 exactly once, in Finalize, so the
 // shard-merge order (which depends on the worker count) perturbs the result
@@ -85,17 +95,36 @@ func (a *fedAvgAccumulator) Accumulate(r ClientResult) {
 	n := float64(r.NumSamples)
 	for i, p := range r.Weights.Params {
 		dst, src := a.params[i], p.Data()
+		if len(src) != len(dst) {
+			panic("fl: streamed result param size incompatible with accumulator")
+		}
 		for j, v := range src {
 			dst[j] += n * float64(v)
 		}
 	}
 	for i, s := range r.Weights.States {
 		dst, src := a.states[i], s.Data()
+		if len(src) != len(dst) {
+			panic("fl: streamed result state size incompatible with accumulator")
+		}
 		for j, v := range src {
 			dst[j] += n * float64(v)
 		}
 	}
 	a.total += n
+}
+
+// Reset implements ResettableAccumulator: the float64 sum buffers are kept
+// and zeroed, so one accumulator per worker serves every round.
+func (a *fedAvgAccumulator) Reset(global nn.Weights, cfg Config) {
+	a.global = global
+	a.total = 0
+	for _, sum := range a.params {
+		clear(sum)
+	}
+	for _, sum := range a.states {
+		clear(sum)
+	}
 }
 
 // Merge implements Accumulator.

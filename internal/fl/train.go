@@ -1,11 +1,74 @@
 package fl
 
 import (
+	"sync"
+
 	"heteroswitch/internal/dataset"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/tensor"
 )
+
+// batchScratch bundles the per-batch buffers of one training or evaluation
+// loop: the stacked input, dense targets, the loss gradient (all recycled
+// through a private arena, reset once per batch) and the label slice. The
+// buffers live only between two Resets, exactly one batch — the network's
+// own arena is NOT usable for them because the network resets it at the top
+// of Forward, while the input must be filled before Forward runs.
+type batchScratch struct {
+	arena  *tensor.Arena
+	labels []int
+	shape  []int
+}
+
+// batchScratchPool recycles batch scratch across TrainLocal/EvalLoss calls
+// (i.e. across clients and rounds), so the steady state of a federated run
+// allocates no per-batch buffers at all.
+var batchScratchPool = sync.Pool{
+	New: func() any { return &batchScratch{arena: tensor.NewArena()} },
+}
+
+// nextBatch recycles the previous batch's buffers and fills them with
+// samples [lo, hi). For multi-label data it returns (x, y, nil), otherwise
+// (x, nil, labels).
+func (bs *batchScratch) nextBatch(ds *dataset.Dataset, lo, hi int) (x, y *tensor.Tensor, labels []int) {
+	bs.arena.Reset()
+	n := hi - lo
+	bs.shape = append(bs.shape[:0], n)
+	bs.shape = append(bs.shape, ds.Samples[lo].X.Shape()...)
+	x = bs.arena.GetUninit(bs.shape...)
+	if ds.Samples[lo].Multi != nil {
+		y = bs.arena.GetUninit(n, ds.NumClasses)
+		ds.BatchMultiInto(x, y, lo, hi)
+		return x, y, nil
+	}
+	if cap(bs.labels) < n {
+		bs.labels = make([]int, n)
+	}
+	labels = bs.labels[:n]
+	ds.BatchInto(x, labels, lo, hi)
+	return x, nil, labels
+}
+
+// evalBatch runs one loss evaluation on samples [lo, hi). When the loss
+// supports LossInto the gradient lands in a recycled arena buffer; the
+// caller may pass it to net.Backward before the next nextBatch call.
+func (bs *batchScratch) evalBatch(net *nn.Network, loss nn.Loss, ds *dataset.Dataset,
+	lo, hi int, train bool) (float64, *tensor.Tensor) {
+	x, y, labels := bs.nextBatch(ds, lo, hi)
+	var target nn.Target
+	if y != nil {
+		target = nn.DenseTarget(y)
+	} else {
+		target = nn.ClassTarget(labels)
+	}
+	out := net.Forward(x, train)
+	if li, ok := loss.(nn.LossInto); ok {
+		grad := bs.arena.GetUninit(out.Shape()...)
+		return li.EvalInto(grad, out, target), grad
+	}
+	return loss.Eval(out, target)
+}
 
 // EvalLoss computes the mean loss of the network on ds in inference mode —
 // L_init in Algorithm 1 terms. It handles both single- and multi-label data.
@@ -13,20 +76,12 @@ func EvalLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) flo
 	if ds.Len() == 0 {
 		return 0
 	}
+	bs := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(bs)
 	var total float64
 	for lo := 0; lo < ds.Len(); lo += batch {
-		hi := lo + batch
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		var l float64
-		if ds.Samples[lo].Multi != nil {
-			x, y := ds.BatchMulti(lo, hi)
-			l, _ = loss.Eval(net.Forward(x, false), nn.DenseTarget(y))
-		} else {
-			x, labels := ds.Batch(lo, hi)
-			l, _ = loss.Eval(net.Forward(x, false), nn.ClassTarget(labels))
-		}
+		hi := min(lo+batch, ds.Len())
+		l, _ := bs.evalBatch(net, loss, ds, lo, hi, false)
 		total += l * float64(hi-lo)
 	}
 	return total / float64(ds.Len())
@@ -43,6 +98,10 @@ type BatchHook func(net *nn.Network, batchIdx int)
 // TrainLocal runs cfg.LocalEpochs of minibatch SGD on the client dataset and
 // returns the running mean of batch losses (Algorithm 1's L_train). Batches
 // are reshuffled each epoch from rng. stepHook and batchHook may be nil.
+//
+// The steady state of the loop is allocation-free: batch inputs, targets,
+// and the loss gradient recycle through a pooled scratch arena, and every
+// layer's outputs/gradients recycle through the network's own arena.
 func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
 	rng *frand.RNG, stepHook StepHook, batchHook BatchHook) float64 {
 	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
@@ -59,30 +118,17 @@ func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
 		Samples:    make([]dataset.Sample, ds.Len()),
 		NumClasses: ds.NumClasses,
 	}
+	bs := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(bs)
 	for e := 0; e < cfg.LocalEpochs; e++ {
 		rng.ShuffleInts(order)
 		for i, j := range order {
 			shuffled.Samples[i] = ds.Samples[j]
 		}
 		for lo := 0; lo < shuffled.Len(); lo += cfg.BatchSize {
-			hi := lo + cfg.BatchSize
-			if hi > shuffled.Len() {
-				hi = shuffled.Len()
-			}
-			var l float64
-			if shuffled.Samples[lo].Multi != nil {
-				x, y := shuffled.BatchMulti(lo, hi)
-				out := net.Forward(x, true)
-				var gradT *tensor.Tensor
-				l, gradT = loss.Eval(out, nn.DenseTarget(y))
-				net.Backward(gradT)
-			} else {
-				x, labels := shuffled.Batch(lo, hi)
-				out := net.Forward(x, true)
-				var gradT *tensor.Tensor
-				l, gradT = loss.Eval(out, nn.ClassTarget(labels))
-				net.Backward(gradT)
-			}
+			hi := min(lo+cfg.BatchSize, shuffled.Len())
+			l, gradT := bs.evalBatch(net, loss, shuffled, lo, hi, true)
+			net.Backward(gradT)
 			if stepHook != nil {
 				stepHook(params)
 			}

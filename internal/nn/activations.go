@@ -8,6 +8,7 @@ import (
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
+	arenaScratch
 	mask []bool
 }
 
@@ -16,18 +17,19 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative elements.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	d := y.Data()
-	if cap(l.mask) < len(d) {
-		l.mask = make([]bool, len(d))
+	y := l.allocUninit(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	if cap(l.mask) < len(xd) {
+		l.mask = make([]bool, len(xd))
 	}
-	l.mask = l.mask[:len(d)]
-	for i, v := range d {
+	l.mask = l.mask[:len(xd)]
+	for i, v := range xd {
 		if v > 0 {
 			l.mask[i] = true
+			yd[i] = v
 		} else {
 			l.mask[i] = false
-			d[i] = 0
+			yd[i] = 0
 		}
 	}
 	return y
@@ -35,11 +37,13 @@ func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward passes gradient only where the input was positive.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	d := g.Data()
-	for i := range d {
-		if !l.mask[i] {
-			d[i] = 0
+	g := l.allocUninit(grad.Shape()...)
+	gd, dd := grad.Data(), g.Data()
+	for i, v := range gd {
+		if l.mask[i] {
+			dd[i] = v
+		} else {
+			dd[i] = 0
 		}
 	}
 	return g
@@ -56,6 +60,7 @@ func (l *ReLU) Name() string { return "ReLU" }
 
 // HardSigmoid computes clip((x+3)/6, 0, 1), MobileNetV3's cheap sigmoid.
 type HardSigmoid struct {
+	arenaScratch
 	x *tensor.Tensor
 }
 
@@ -65,10 +70,10 @@ func NewHardSigmoid() *HardSigmoid { return &HardSigmoid{} }
 // Forward implements Layer.
 func (l *HardSigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
-	y := x.Clone()
-	d := y.Data()
-	for i, v := range d {
-		d[i] = hardSigmoid(v)
+	y := l.allocUninit(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	for i, v := range xd {
+		yd[i] = hardSigmoid(v)
 	}
 	return y
 }
@@ -86,13 +91,13 @@ func hardSigmoid(v float32) float32 {
 
 // Backward implements Layer: derivative is 1/6 inside (-3, 3), else 0.
 func (l *HardSigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	gd, xd := g.Data(), l.x.Data()
+	g := l.allocUninit(grad.Shape()...)
+	gd, dd, xd := grad.Data(), g.Data(), l.x.Data()
 	for i := range gd {
 		if xd[i] > -3 && xd[i] < 3 {
-			gd[i] /= 6
+			dd[i] = gd[i] / 6
 		} else {
-			gd[i] = 0
+			dd[i] = 0
 		}
 	}
 	return g
@@ -109,6 +114,7 @@ func (l *HardSigmoid) Name() string { return "HardSigmoid" }
 
 // HardSwish computes x * hardSigmoid(x), the MobileNetV3 activation.
 type HardSwish struct {
+	arenaScratch
 	x *tensor.Tensor
 }
 
@@ -118,25 +124,25 @@ func NewHardSwish() *HardSwish { return &HardSwish{} }
 // Forward implements Layer.
 func (l *HardSwish) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
-	y := x.Clone()
-	d := y.Data()
-	for i, v := range d {
-		d[i] = v * hardSigmoid(v)
+	y := l.allocUninit(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	for i, v := range xd {
+		yd[i] = v * hardSigmoid(v)
 	}
 	return y
 }
 
 // Backward implements Layer. d/dx [x·hs(x)] = hs(x) + x·hs'(x).
 func (l *HardSwish) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	gd, xd := g.Data(), l.x.Data()
+	g := l.allocUninit(grad.Shape()...)
+	gd, dd, xd := grad.Data(), g.Data(), l.x.Data()
 	for i := range gd {
 		v := xd[i]
 		der := hardSigmoid(v)
 		if v > -3 && v < 3 {
 			der += v / 6
 		}
-		gd[i] *= der
+		dd[i] = gd[i] * der
 	}
 	return g
 }
@@ -152,6 +158,7 @@ func (l *HardSwish) Name() string { return "HardSwish" }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
+	arenaScratch
 	y *tensor.Tensor
 }
 
@@ -160,10 +167,10 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward implements Layer.
 func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	d := y.Data()
-	for i, v := range d {
-		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	y := l.allocUninit(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	for i, v := range xd {
+		yd[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
 	l.y = y
 	return y
@@ -171,10 +178,10 @@ func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer: dx = dy · y(1-y).
 func (l *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	gd, yd := g.Data(), l.y.Data()
+	g := l.allocUninit(grad.Shape()...)
+	gd, dd, yd := grad.Data(), g.Data(), l.y.Data()
 	for i := range gd {
-		gd[i] *= yd[i] * (1 - yd[i])
+		dd[i] = gd[i] * yd[i] * (1 - yd[i])
 	}
 	return g
 }

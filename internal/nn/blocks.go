@@ -32,6 +32,7 @@ func (l *Identity) Name() string { return "Identity" }
 // Residual computes y = Body(x) + Proj(x). Proj defaults to identity when
 // nil; supply a 1x1 conv (+BN) projection when the body changes shape.
 type Residual struct {
+	arenaScratch
 	Body Layer
 	Proj Layer
 }
@@ -44,6 +45,17 @@ func NewResidual(body, proj Layer) *Residual {
 	return &Residual{Body: body, Proj: proj}
 }
 
+// SetArena implements ArenaUser, sharing the arena with both branches.
+func (l *Residual) SetArena(a *tensor.Arena) {
+	l.arenaScratch.SetArena(a)
+	if u, ok := l.Body.(ArenaUser); ok {
+		u.SetArena(a)
+	}
+	if u, ok := l.Proj.(ArenaUser); ok {
+		u.SetArena(a)
+	}
+}
+
 // Forward implements Layer.
 func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := l.Body.Forward(x, train)
@@ -51,7 +63,8 @@ func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !y.SameShape(s) {
 		panic(fmt.Sprintf("nn: Residual shape mismatch %v vs %v", y.Shape(), s.Shape()))
 	}
-	out := y.Clone()
+	out := l.allocUninit(y.Shape()...)
+	out.CopyFrom(y)
 	out.AddInPlace(s)
 	return out
 }
@@ -60,7 +73,8 @@ func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (l *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := l.Body.Backward(grad)
 	ds := l.Proj.Backward(grad)
-	out := dx.Clone()
+	out := l.allocUninit(dx.Shape()...)
+	out.CopyFrom(dx)
 	out.AddInPlace(ds)
 	return out
 }
@@ -81,48 +95,73 @@ func (l *Residual) Name() string { return "Residual(" + l.Body.Name() + ")" }
 // fire expansion). With SplitInput=true the input channels are divided
 // evenly among the branches (ShuffleNetV2 basic unit).
 type Parallel struct {
+	arenaScratch
 	Branches   []Layer
 	SplitInput bool
 	inC        int
 	outCs      []int
+	// per-batch work lists, cached to keep steady-state batches allocation-free
+	inputs, outs, grads, dxs []*tensor.Tensor
 }
 
-// NewParallel builds a parallel block.
+// NewParallel builds a parallel block. The cached per-batch work lists are
+// sized lazily on first Forward (see ensureWorkLists).
 func NewParallel(splitInput bool, branches ...Layer) *Parallel {
 	return &Parallel{Branches: branches, SplitInput: splitInput}
 }
 
+// SetArena implements ArenaUser, sharing the arena with every branch.
+func (l *Parallel) SetArena(a *tensor.Arena) {
+	l.arenaScratch.SetArena(a)
+	for _, b := range l.Branches {
+		if u, ok := b.(ArenaUser); ok {
+			u.SetArena(a)
+		}
+	}
+}
+
+// ensureWorkLists sizes the cached per-batch slices, so a Parallel built as
+// a struct literal (bypassing NewParallel) still works.
+func (l *Parallel) ensureWorkLists() {
+	nb := len(l.Branches)
+	if len(l.inputs) != nb {
+		l.outCs = make([]int, nb)
+		l.inputs = make([]*tensor.Tensor, nb)
+		l.outs = make([]*tensor.Tensor, nb)
+		l.grads = make([]*tensor.Tensor, nb)
+		l.dxs = make([]*tensor.Tensor, nb)
+	}
+}
+
 // Forward implements Layer.
 func (l *Parallel) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.ensureWorkLists()
 	n, c := x.Dim(0), x.Dim(1)
 	l.inC = c
 	nb := len(l.Branches)
-	inputs := make([]*tensor.Tensor, nb)
 	if l.SplitInput {
 		if c%nb != 0 {
 			panic(fmt.Sprintf("nn: Parallel split %d channels across %d branches", c, nb))
 		}
 		per := c / nb
-		for i := range inputs {
-			inputs[i] = sliceChannels(x, i*per, (i+1)*per)
+		for i := range l.inputs {
+			l.inputs[i] = l.sliceChannels(x, i*per, (i+1)*per)
 		}
 	} else {
-		for i := range inputs {
-			inputs[i] = x
+		for i := range l.inputs {
+			l.inputs[i] = x
 		}
 	}
-	outs := make([]*tensor.Tensor, nb)
-	l.outCs = make([]int, nb)
 	totalC := 0
 	for i, b := range l.Branches {
-		outs[i] = b.Forward(inputs[i], train)
-		l.outCs[i] = outs[i].Dim(1)
+		l.outs[i] = b.Forward(l.inputs[i], train)
+		l.outCs[i] = l.outs[i].Dim(1)
 		totalC += l.outCs[i]
 	}
-	oh, ow := outs[0].Dim(2), outs[0].Dim(3)
-	out := tensor.New(n, totalC, oh, ow)
+	oh, ow := l.outs[0].Dim(2), l.outs[0].Dim(3)
+	out := l.allocUninit(n, totalC, oh, ow)
 	at := 0
-	for _, o := range outs {
+	for _, o := range l.outs {
 		if o.Dim(2) != oh || o.Dim(3) != ow {
 			panic("nn: Parallel branches disagree on spatial size")
 		}
@@ -137,30 +176,29 @@ func (l *Parallel) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	nb := len(l.Branches)
 	at := 0
-	grads := make([]*tensor.Tensor, nb)
 	for i := range l.Branches {
-		grads[i] = sliceChannels(grad, at, at+l.outCs[i])
+		l.grads[i] = l.sliceChannels(grad, at, at+l.outCs[i])
 		at += l.outCs[i]
 	}
 	if l.SplitInput {
 		per := l.inC / nb
 		var h, w int
-		dxs := make([]*tensor.Tensor, nb)
 		for i, b := range l.Branches {
-			dxs[i] = b.Backward(grads[i])
-			h, w = dxs[i].Dim(2), dxs[i].Dim(3)
+			l.dxs[i] = b.Backward(l.grads[i])
+			h, w = l.dxs[i].Dim(2), l.dxs[i].Dim(3)
 		}
-		dx := tensor.New(n, l.inC, h, w)
-		for i, d := range dxs {
+		dx := l.allocUninit(n, l.inC, h, w)
+		for i, d := range l.dxs {
 			copyChannels(dx, d, i*per)
 		}
 		return dx
 	}
 	var dx *tensor.Tensor
 	for i, b := range l.Branches {
-		d := b.Backward(grads[i])
+		d := b.Backward(l.grads[i])
 		if dx == nil {
-			dx = d.Clone()
+			dx = l.allocUninit(d.Shape()...)
+			dx.CopyFrom(d)
 		} else {
 			dx.AddInPlace(d)
 		}
@@ -189,10 +227,11 @@ func (l *Parallel) States() []*tensor.Tensor {
 // Name implements Layer.
 func (l *Parallel) Name() string { return fmt.Sprintf("Parallel(%d branches)", len(l.Branches)) }
 
-// sliceChannels copies channels [lo,hi) of an NCHW tensor into a new tensor.
-func sliceChannels(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+// sliceChannels copies channels [lo,hi) of an NCHW tensor into a per-batch
+// tensor.
+func (l *Parallel) sliceChannels(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(n, hi-lo, h, w)
+	out := l.allocUninit(n, hi-lo, h, w)
 	hw := h * w
 	xd, od := x.Data(), out.Data()
 	per := hi - lo
@@ -218,6 +257,7 @@ func copyChannels(dst, src *tensor.Tensor, at int) {
 // SEBlock is a squeeze-and-excitation channel attention block:
 // s = GlobalAvgPool(x); z = hsig(W2·relu(W1·s)); y = x ⊙ z (per channel).
 type SEBlock struct {
+	arenaScratch
 	C, Hidden int
 	fc1, fc2  *Dense
 	relu      *ReLU
@@ -238,6 +278,15 @@ func NewSEBlock(r *frand.RNG, c, hidden int) *SEBlock {
 	}
 }
 
+// SetArena implements ArenaUser, sharing the arena with the excitation MLP.
+func (l *SEBlock) SetArena(a *tensor.Arena) {
+	l.arenaScratch.SetArena(a)
+	l.fc1.SetArena(a)
+	l.fc2.SetArena(a)
+	l.relu.SetArena(a)
+	l.hsig.SetArena(a)
+}
+
 // Forward implements Layer.
 func (l *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
@@ -246,7 +295,7 @@ func (l *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.x = x
 	hw := h * w
-	s := tensor.New(n, c)
+	s := l.allocUninit(n, c)
 	xd, sd := x.Data(), s.Data()
 	inv := 1 / float32(hw)
 	for i := 0; i < n*c; i++ {
@@ -258,7 +307,7 @@ func (l *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	z := l.hsig.Forward(l.fc2.Forward(l.relu.Forward(l.fc1.Forward(s, train), train), train), train)
 	l.z = z
-	out := tensor.New(n, c, h, w)
+	out := l.allocUninit(n, c, h, w)
 	od, zd := out.Data(), z.Data()
 	for i := 0; i < n*c; i++ {
 		zi := zd[i]
@@ -276,9 +325,9 @@ func (l *SEBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	gd, xd, zd := grad.Data(), l.x.Data(), l.z.Data()
 
 	// dz[n,c] = Σ_hw dy·x ;  dx (direct path) = dy·z
-	dz := tensor.New(n, c)
+	dz := l.allocUninit(n, c)
 	dzd := dz.Data()
-	dx := tensor.New(n, c, h, w)
+	dx := l.allocUninit(n, c, h, w)
 	dxd := dx.Data()
 	for i := 0; i < n*c; i++ {
 		var s float32
@@ -316,6 +365,7 @@ func (l *SEBlock) Name() string { return fmt.Sprintf("SEBlock(%d,%d)", l.C, l.Hi
 // 1/(1-p) (inverted dropout). It holds its own RNG so a network instance is
 // self-contained; pass a split of the model seed.
 type Dropout struct {
+	arenaScratch
 	P    float64
 	rng  *frand.RNG
 	mask []float32
@@ -332,8 +382,8 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.mask = nil
 		return x
 	}
-	y := x.Clone()
-	d := y.Data()
+	y := l.allocUninit(x.Shape()...)
+	xd, d := x.Data(), y.Data()
 	if cap(l.mask) < len(d) {
 		l.mask = make([]float32, len(d))
 	}
@@ -345,7 +395,7 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			d[i] = 0
 		} else {
 			l.mask[i] = scale
-			d[i] *= scale
+			d[i] = xd[i] * scale
 		}
 	}
 	return y
@@ -356,10 +406,10 @@ func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.mask == nil {
 		return grad
 	}
-	g := grad.Clone()
-	d := g.Data()
+	g := l.allocUninit(grad.Shape()...)
+	gd, d := grad.Data(), g.Data()
 	for i := range d {
-		d[i] *= l.mask[i]
+		d[i] = gd[i] * l.mask[i]
 	}
 	return g
 }

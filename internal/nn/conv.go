@@ -16,6 +16,7 @@ import (
 // The implementation lowers each sample and group to an im2col matrix and a
 // single matmul, caching the column matrices for the backward pass.
 type Conv2D struct {
+	arenaScratch
 	InC, OutC   int
 	KH, KW      int
 	Stride, Pad int
@@ -24,6 +25,7 @@ type Conv2D struct {
 	inH, inW    int // geometry captured at Forward time
 	dims        tensor.ConvDims
 	cols        []float32 // cached im2col matrices: [N][G][rows*cols]
+	dcol        []float32 // backward scratch: one group's column gradient
 	batch       int
 	x           *tensor.Tensor
 }
@@ -77,7 +79,7 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.batch = n
 	l.x = x
 
-	out := tensor.New(n, l.OutC, d.OutH, d.OutW)
+	out := l.allocUninit(n, l.OutC, d.OutH, d.OutW)
 	xd, od, wd, bd := x.Data(), out.Data(), l.W.W.Data(), l.B.W.Data()
 	imgStride := l.InC * h * w
 	outStride := l.OutC * d.OutH * d.OutW
@@ -88,10 +90,9 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
 			tensor.Im2Col(col, img, d)
 			// y[gcOut, cols] = Wg[gcOut, fanIn] @ col[fanIn, cols]
-			colT := tensor.FromSlice(col, rows, cols)
-			wg := tensor.FromSlice(wd[gi*gcOut*fanIn:(gi+1)*gcOut*fanIn], gcOut, fanIn)
+			wg := wd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
 			y := od[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
-			tensor.MatMulInto(tensor.FromSlice(y, gcOut, cols), wg, colT)
+			tensor.MatMulSlices(y, wg, col, gcOut, fanIn, cols)
 			for oc := 0; oc < gcOut; oc++ {
 				b := bd[gi*gcOut+oc]
 				row := y[oc*cols : (oc+1)*cols]
@@ -115,21 +116,23 @@ func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := l.batch
 	h, w := l.inH, l.inW
 
-	dx := tensor.New(n, l.InC, h, w)
+	// Col2Im accumulates, so dx must start zeroed.
+	dx := l.alloc(n, l.InC, h, w)
 	gd, wd, dwd, dbd, dxd := grad.Data(), l.W.W.Data(), l.W.Grad.Data(), l.B.Grad.Data(), dx.Data()
 	imgStride := l.InC * h * w
 	outStride := l.OutC * d.OutH * d.OutW
 
-	dcol := make([]float32, rows*cols)
+	if cap(l.dcol) < rows*cols {
+		l.dcol = make([]float32, rows*cols)
+	}
+	dcol := l.dcol[:rows*cols]
 	for i := 0; i < n; i++ {
 		for gi := 0; gi < g; gi++ {
 			dy := gd[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
-			dyT := tensor.FromSlice(dy, gcOut, cols)
 			col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
-			colT := tensor.FromSlice(col, rows, cols)
-			// dWg += dy @ colᵀ
-			dwg := tensor.FromSlice(dwd[gi*gcOut*fanIn:(gi+1)*gcOut*fanIn], gcOut, fanIn)
-			dwg.AddInPlace(tensor.MatMulTransB(dyT, colT))
+			// dWg += dy @ colᵀ, accumulated in place (no temporary + add pass).
+			dwg := dwd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
+			tensor.MatMulTransBAccSlices(dwg, dy, col, gcOut, cols, fanIn)
 			// db += Σ spatial dy
 			for oc := 0; oc < gcOut; oc++ {
 				var s float32
@@ -139,11 +142,11 @@ func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				}
 				dbd[gi*gcOut+oc] += s
 			}
-			// dcol = Wgᵀ @ dy, then scatter back to dx.
-			wg := tensor.FromSlice(wd[gi*gcOut*fanIn:(gi+1)*gcOut*fanIn], gcOut, fanIn)
-			dcolT := tensor.FromSlice(dcol, rows, cols)
-			dcolT.Zero()
-			tensor.MatMulAccInto(dcolT, wg.Transpose2D(), dyT)
+			// dcol = Wgᵀ @ dy, then scatter back to dx. The transposed-A
+			// kernel reads Wg in place instead of materializing Wgᵀ.
+			wg := wd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
+			clear(dcol)
+			tensor.MatMulTransAAccSlices(dcol, wg, dy, gcOut, fanIn, cols)
 			dimg := dxd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
 			tensor.Col2Im(dimg, dcol, d)
 		}
@@ -165,6 +168,7 @@ func (l *Conv2D) Name() string {
 // ChannelShuffle permutes channels between groups, the ShuffleNet mixing
 // operation: viewing channels as [g, c/g], it transposes to [c/g, g].
 type ChannelShuffle struct {
+	arenaScratch
 	Groups int
 	c      int
 }
@@ -175,22 +179,22 @@ func NewChannelShuffle(groups int) *ChannelShuffle { return &ChannelShuffle{Grou
 // Forward implements Layer.
 func (l *ChannelShuffle) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.c = x.Dim(1)
-	return shuffleChannels(x, l.Groups)
+	return l.shuffleChannels(x, l.Groups)
 }
 
 // Backward implements Layer: the inverse of a [g, c/g] transpose is a
 // [c/g, g] transpose.
 func (l *ChannelShuffle) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return shuffleChannels(grad, l.c/l.Groups)
+	return l.shuffleChannels(grad, l.c/l.Groups)
 }
 
-func shuffleChannels(x *tensor.Tensor, g int) *tensor.Tensor {
+func (l *ChannelShuffle) shuffleChannels(x *tensor.Tensor, g int) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if c%g != 0 {
 		panic(fmt.Sprintf("nn: ChannelShuffle %d channels not divisible by %d groups", c, g))
 	}
 	per := c / g
-	out := tensor.New(n, c, h, w)
+	out := l.allocUninit(n, c, h, w)
 	hw := h * w
 	xd, od := x.Data(), out.Data()
 	for i := 0; i < n; i++ {

@@ -10,6 +10,7 @@ import (
 
 // Dense is a fully connected layer: y = x @ W + b for x of shape [N, in].
 type Dense struct {
+	arenaScratch
 	In, Out int
 	W, B    *Param
 	x       *tensor.Tensor // cached input
@@ -32,7 +33,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense input shape %v, want [N %d]", x.Shape(), d.In))
 	}
 	d.x = x
-	y := tensor.MatMul(x, d.W.W)
+	y := d.allocUninit(x.Dim(0), d.Out)
+	tensor.MatMulInto(y, x, d.W.W)
 	n, out := y.Dim(0), d.Out
 	yd, bd := y.Data(), d.B.W.Data()
 	for i := 0; i < n; i++ {
@@ -55,7 +57,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			bg[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(grad, d.W.W)
+	dx := d.allocUninit(n, d.In)
+	tensor.MatMulTransBInto(dx, grad, d.W.W)
+	return dx
 }
 
 // Params returns W and b.

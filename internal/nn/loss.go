@@ -15,6 +15,17 @@ type Loss interface {
 	Name() string
 }
 
+// LossInto is an optional Loss capability: losses that can write their
+// gradient into a caller-provided buffer implement it, so training loops can
+// reuse one per-batch gradient tensor (e.g. from an arena) instead of
+// allocating a fresh one per Eval. All losses in this package implement it;
+// Eval is a convenience wrapper. EvalInto overwrites every element of grad,
+// which must have pred's shape.
+type LossInto interface {
+	Loss
+	EvalInto(grad, pred *tensor.Tensor, target Target) float64
+}
+
 // Target carries either class indices (single-label), a dense matrix
 // (multi-label / regression), whichever the loss expects.
 type Target struct {
@@ -33,7 +44,13 @@ func DenseTarget(t *tensor.Tensor) Target { return Target{Dense: t} }
 type SoftmaxCrossEntropy struct{}
 
 // Eval implements Loss. The gradient is (softmax - onehot)/N.
-func (SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+func (l SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape()...)
+	return l.EvalInto(grad, logits, target), grad
+}
+
+// EvalInto implements LossInto.
+func (SoftmaxCrossEntropy) EvalInto(grad, logits *tensor.Tensor, target Target) float64 {
 	if logits.NDim() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits %v", logits.Shape()))
 	}
@@ -41,7 +58,9 @@ func (SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, target Target) (float64, 
 	if len(target.Classes) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(target.Classes), n))
 	}
-	grad := tensor.New(n, c)
+	if !grad.SameShape(logits) {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy grad buffer %v, want %v", grad.Shape(), logits.Shape()))
+	}
 	ld, gd := logits.Data(), grad.Data()
 	var loss float64
 	invN := 1 / float64(n)
@@ -70,7 +89,7 @@ func (SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, target Target) (float64, 
 		}
 		gRow[y] -= float32(invN)
 	}
-	return loss, grad
+	return loss
 }
 
 // Name implements Loss.
@@ -82,11 +101,19 @@ func (SoftmaxCrossEntropy) Name() string { return "SoftmaxCrossEntropy" }
 type BCEWithLogits struct{}
 
 // Eval implements Loss.
-func (BCEWithLogits) Eval(logits *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+func (l BCEWithLogits) Eval(logits *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape()...)
+	return l.EvalInto(grad, logits, target), grad
+}
+
+// EvalInto implements LossInto.
+func (BCEWithLogits) EvalInto(grad, logits *tensor.Tensor, target Target) float64 {
 	if target.Dense == nil || !logits.SameShape(target.Dense) {
 		panic("nn: BCEWithLogits needs dense targets matching logits shape")
 	}
-	grad := tensor.New(logits.Shape()...)
+	if !grad.SameShape(logits) {
+		panic(fmt.Sprintf("nn: BCEWithLogits grad buffer %v, want %v", grad.Shape(), logits.Shape()))
+	}
 	ld, td, gd := logits.Data(), target.Dense.Data(), grad.Data()
 	var loss float64
 	invM := 1 / float64(len(ld))
@@ -98,7 +125,7 @@ func (BCEWithLogits) Eval(logits *tensor.Tensor, target Target) (float64, *tenso
 		p := 1 / (1 + math.Exp(-zf))
 		gd[i] = float32((p - t) * invM)
 	}
-	return loss, grad
+	return loss
 }
 
 // Name implements Loss.
@@ -109,11 +136,19 @@ func (BCEWithLogits) Name() string { return "BCEWithLogits" }
 type MSE struct{}
 
 // Eval implements Loss.
-func (MSE) Eval(pred *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+func (l MSE) Eval(pred *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
+	grad := tensor.New(pred.Shape()...)
+	return l.EvalInto(grad, pred, target), grad
+}
+
+// EvalInto implements LossInto.
+func (MSE) EvalInto(grad, pred *tensor.Tensor, target Target) float64 {
 	if target.Dense == nil || pred.Size() != target.Dense.Size() {
 		panic("nn: MSE needs dense targets matching prediction size")
 	}
-	grad := tensor.New(pred.Shape()...)
+	if grad.Size() != pred.Size() {
+		panic("nn: MSE grad buffer size mismatch")
+	}
 	pd, td, gd := pred.Data(), target.Dense.Data(), grad.Data()
 	var loss float64
 	invM := 1 / float64(len(pd))
@@ -122,8 +157,15 @@ func (MSE) Eval(pred *tensor.Tensor, target Target) (float64, *tensor.Tensor) {
 		loss += d * d * invM
 		gd[i] = float32(2 * d * invM)
 	}
-	return loss, grad
+	return loss
 }
 
 // Name implements Loss.
 func (MSE) Name() string { return "MSE" }
+
+// interface conformance checks
+var (
+	_ LossInto = SoftmaxCrossEntropy{}
+	_ LossInto = BCEWithLogits{}
+	_ LossInto = MSE{}
+)

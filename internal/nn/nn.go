@@ -49,17 +49,58 @@ type Layer interface {
 
 // Network is an ordered sequence of layers, the only composition primitive
 // needed here (branching blocks are themselves Layers).
+//
+// Every network owns a tensor.Arena from which its layers draw per-batch
+// output/gradient/scratch tensors; the arena is reset at the top of each
+// Forward, so a batch's tensors (including the network output and the loss
+// gradient) are valid until the next Forward on the same network. Callers
+// that retain a Forward result across batches must Clone it. SetArena(nil)
+// restores the legacy allocate-per-batch behaviour.
 type Network struct {
 	LayerList []Layer
+
+	arena *tensor.Arena
+	// ownsArena is true when this network is the outermost owner of its
+	// arena: it resets the arena per batch and detaches the final input
+	// gradient from it. A network embedded as a layer of a larger model
+	// adopts the parent's arena via SetArena and does neither.
+	ownsArena bool
+	// dxOut, keyed by gradient size, detaches Backward's return value from
+	// the arena (callers like the gradient checker hold it across batches).
+	dxOut map[int]*tensor.Tensor
 }
 
-// NewNetwork builds a network from the given layers.
+// NewNetwork builds a network from the given layers with a fresh arena.
 func NewNetwork(layers ...Layer) *Network {
-	return &Network{LayerList: layers}
+	n := &Network{LayerList: layers}
+	n.SetArena(tensor.NewArena())
+	n.ownsArena = true
+	return n
 }
 
-// Forward runs all layers in order.
+// SetArena attaches a (possibly nil) arena to the network and every layer
+// that implements ArenaUser. The network becomes a non-owner: it no longer
+// resets the arena per batch, which is what a parent network embedding this
+// one as a layer relies on. SetArena(nil) disables arena recycling entirely
+// (every layer falls back to tensor.New), which the equivalence tests use to
+// A/B the arena against fresh allocation.
+func (n *Network) SetArena(a *tensor.Arena) {
+	n.arena = a
+	n.ownsArena = false
+	for _, l := range n.LayerList {
+		if u, ok := l.(ArenaUser); ok {
+			u.SetArena(a)
+		}
+	}
+}
+
+// Forward runs all layers in order. When the network owns its arena, the
+// arena is reset first: the previous batch's tensors are recycled, so the
+// returned output is valid only until the next Forward call.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if n.ownsArena && n.arena != nil {
+		n.arena.Reset()
+	}
 	for _, l := range n.LayerList {
 		x = l.Forward(x, train)
 	}
@@ -67,13 +108,35 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward runs the backward pass through all layers in reverse order and
-// returns dL/d(network input).
+// returns dL/d(network input). On an arena-owning network the returned
+// gradient is copied into a small per-size cache so it survives later
+// Forward passes (the arena buffer it came from is recycled on the next
+// Forward) — but the cache is reused, so the result is only valid until the
+// next Backward with a same-size gradient. Nested networks hand the arena
+// tensor through untouched.
 func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(n.LayerList) - 1; i >= 0; i-- {
 		grad = n.LayerList[i].Backward(grad)
 	}
+	if n.ownsArena && n.arena != nil {
+		buf := n.dxOut[grad.Size()]
+		if buf == nil || !buf.SameShape(grad) {
+			buf = tensor.New(grad.Shape()...)
+			if n.dxOut == nil {
+				n.dxOut = make(map[int]*tensor.Tensor)
+			}
+			n.dxOut[grad.Size()] = buf
+		}
+		buf.CopyFrom(grad)
+		return buf
+	}
 	return grad
 }
+
+// Arena returns the network's arena (nil when disabled). Training loops use
+// it to co-allocate per-batch tensors that live outside the layer stack —
+// the loss gradient, for one — with the same per-batch lifetime.
+func (n *Network) Arena() *tensor.Arena { return n.arena }
 
 // Params returns all trainable parameters in a stable order (layer order,
 // then each layer's declared order). The order is the contract federated

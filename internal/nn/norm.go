@@ -17,6 +17,7 @@ import (
 // statistics are exactly where system-induced data heterogeneity shows up
 // as cross-client drift.
 type BatchNorm2D struct {
+	arenaScratch
 	C        int
 	Eps      float64
 	Momentum float64
@@ -54,7 +55,7 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	hw := h * w
 	m := n * hw
 	l.batch, l.hw = n, hw
-	out := tensor.New(n, l.C, h, w)
+	out := l.allocUninit(n, l.C, h, w)
 	xd, od := x.Data(), out.Data()
 	gd, bd := l.Gamma.W.Data(), l.Beta.W.Data()
 
@@ -64,7 +65,7 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.invStd = l.invStd[:l.C]
 
 	if train {
-		l.xhat = tensor.New(n, l.C, h, w)
+		l.xhat = l.allocUninit(n, l.C, h, w)
 		xh := l.xhat.Data()
 		rm, rv := l.RunMean.Data(), l.RunVar.Data()
 		for c := 0; c < l.C; c++ {
@@ -119,7 +120,7 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (l *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, hw := l.batch, l.hw
 	m := float32(n * hw)
-	dx := tensor.New(grad.Shape()...)
+	dx := l.allocUninit(grad.Shape()...)
 	gd := grad.Data()
 	xh := l.xhat.Data()
 	dxd := dx.Data()

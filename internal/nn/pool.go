@@ -8,6 +8,7 @@ import (
 
 // MaxPool2D performs kxk max pooling with the given stride on NCHW tensors.
 type MaxPool2D struct {
+	arenaScratch
 	K, Stride int
 	argmax    []int
 	inShape   []int
@@ -25,7 +26,7 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MaxPool2D k%d s%d on %dx%d", l.K, l.Stride, h, w))
 	}
 	l.inShape = x.Shape()
-	out := tensor.New(n, c, oh, ow)
+	out := l.allocUninit(n, c, oh, ow)
 	need := n * c * oh * ow
 	if cap(l.argmax) < need {
 		l.argmax = make([]int, need)
@@ -60,8 +61,9 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer, routing each gradient to its argmax position.
+// The gradient scatter accumulates, so dx starts zeroed.
 func (l *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(l.inShape...)
+	dx := l.alloc(l.inShape...)
 	dxd, gd := dx.Data(), grad.Data()
 	for i, g := range gd {
 		dxd[l.argmax[i]] += g
@@ -80,6 +82,7 @@ func (l *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(k%d,s%d)", l.K
 
 // AvgPool2D performs kxk average pooling with the given stride.
 type AvgPool2D struct {
+	arenaScratch
 	K, Stride int
 	inShape   []int
 }
@@ -96,7 +99,7 @@ func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: AvgPool2D k%d s%d on %dx%d", l.K, l.Stride, h, w))
 	}
 	l.inShape = x.Shape()
-	out := tensor.New(n, c, oh, ow)
+	out := l.allocUninit(n, c, oh, ow)
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float32(l.K*l.K)
 	oi := 0
@@ -121,9 +124,10 @@ func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer, spreading the gradient uniformly over the window.
+// Backward implements Layer, spreading the gradient uniformly over the
+// window. Windows overlap when Stride < K, so dx accumulates from zero.
 func (l *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(l.inShape...)
+	dx := l.alloc(l.inShape...)
 	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
 	oh, ow := grad.Dim(2), grad.Dim(3)
 	dxd, gd := dx.Data(), grad.Data()
@@ -161,6 +165,7 @@ func (l *AvgPool2D) Name() string { return fmt.Sprintf("AvgPool2D(k%d,s%d)", l.K
 // GlobalAvgPool collapses each channel's spatial extent to a single value,
 // producing [N, C] from [N, C, H, W].
 type GlobalAvgPool struct {
+	arenaScratch
 	inShape []int
 }
 
@@ -171,7 +176,7 @@ func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 func (l *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	l.inShape = x.Shape()
-	out := tensor.New(n, c)
+	out := l.allocUninit(n, c)
 	xd, od := x.Data(), out.Data()
 	hw := h * w
 	inv := 1 / float32(hw)
@@ -187,7 +192,7 @@ func (l *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(l.inShape...)
+	dx := l.allocUninit(l.inShape...)
 	hw := l.inShape[2] * l.inShape[3]
 	inv := 1 / float32(hw)
 	dxd, gd := dx.Data(), grad.Data()
@@ -209,9 +214,12 @@ func (l *GlobalAvgPool) States() []*tensor.Tensor { return nil }
 // Name implements Layer.
 func (l *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
 
-// Flatten reshapes [N, ...] to [N, prod(...)]. It is a pure view change.
+// Flatten reshapes [N, ...] to [N, prod(...)]. It is a pure view change;
+// the two view headers are cached on the layer so steady-state batches
+// allocate nothing.
 type Flatten struct {
-	inShape []int
+	inShape  []int
+	out, dxv *tensor.Tensor
 }
 
 // NewFlatten builds a flatten layer.
@@ -220,12 +228,14 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Forward implements Layer.
 func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.inShape = x.Shape()
-	return x.Reshape(x.Dim(0), -1)
+	l.out = x.ReshapeInto(l.out, x.Dim(0), -1)
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(l.inShape...)
+	l.dxv = grad.ReshapeInto(l.dxv, l.inShape...)
+	return l.dxv
 }
 
 // Params implements Layer.

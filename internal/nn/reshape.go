@@ -11,27 +11,32 @@ import (
 // feed flat signals into convolutional stacks (e.g. ECG windows of length L
 // become [1, 1, L] images for 1-D-style convolution).
 type Reshape struct {
-	Dims    []int
-	inShape []int
+	Dims     []int
+	inShape  []int
+	shape    []int // reusable [N, Dims...] scratch
+	out, dxv *tensor.Tensor
 }
 
 // NewReshape builds a reshape layer with the per-sample target shape.
 func NewReshape(dims ...int) *Reshape {
 	d := make([]int, len(dims))
 	copy(d, dims)
-	return &Reshape{Dims: d}
+	return &Reshape{Dims: d, shape: append([]int{0}, d...)}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The view headers are cached on the layer so
+// steady-state batches allocate nothing.
 func (l *Reshape) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.inShape = x.Shape()
-	shape := append([]int{x.Dim(0)}, l.Dims...)
-	return x.Reshape(shape...)
+	l.shape[0] = x.Dim(0)
+	l.out = x.ReshapeInto(l.out, l.shape...)
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *Reshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(l.inShape...)
+	l.dxv = grad.ReshapeInto(l.dxv, l.inShape...)
+	return l.dxv
 }
 
 // Params implements Layer.

@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"heteroswitch/internal/frand"
+)
+
+// Within one Reset-to-Reset window the arena must never hand out the same
+// buffer twice — the aliasing guarantee every cached Backward intermediate
+// relies on.
+func TestArenaDistinctBuffersWithinBatch(t *testing.T) {
+	a := NewArena()
+	x := a.Get(4, 3)
+	y := a.Get(4, 3)
+	z := a.GetUninit(4, 3)
+	if &x.Data()[0] == &y.Data()[0] || &x.Data()[0] == &z.Data()[0] || &y.Data()[0] == &z.Data()[0] {
+		t.Fatal("arena handed out an aliased buffer before Reset")
+	}
+	x.Fill(1)
+	y.Fill(2)
+	z.Fill(3)
+	if x.Data()[0] != 1 || y.Data()[0] != 2 || z.Data()[0] != 3 {
+		t.Fatal("buffers overlap")
+	}
+}
+
+// After Reset the arena must actually recycle: same shape gets the same
+// backing memory back, in hand-out order.
+func TestArenaRecyclesAfterReset(t *testing.T) {
+	a := NewArena()
+	x := a.Get(2, 5)
+	y := a.Get(2, 5)
+	w := a.Get(7) // different shape class
+	a.Reset()
+	x2 := a.Get(2, 5)
+	y2 := a.Get(2, 5)
+	w2 := a.Get(7)
+	if &x.Data()[0] != &x2.Data()[0] || &y.Data()[0] != &y2.Data()[0] || &w.Data()[0] != &w2.Data()[0] {
+		t.Fatal("arena did not recycle buffers after Reset")
+	}
+}
+
+// Get must return zeroed memory even when recycling a dirty buffer,
+// matching tensor.New semantics.
+func TestArenaGetZeroesRecycledBuffer(t *testing.T) {
+	a := NewArena()
+	a.Get(3, 3).Fill(42)
+	a.Reset()
+	x := a.Get(3, 3)
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("recycled Get returned dirty value %v", v)
+		}
+	}
+}
+
+// Shapes beyond 4-D fall back to plain allocation (never recycled) but must
+// still work.
+func TestArenaHighRankFallback(t *testing.T) {
+	a := NewArena()
+	x := a.Get(2, 2, 2, 2, 2)
+	if x.Size() != 32 {
+		t.Fatalf("5-D fallback size %d", x.Size())
+	}
+	if got := a.Live(); got != 0 {
+		t.Fatalf("fallback tensor tracked as live: %d", got)
+	}
+}
+
+func TestArenaLive(t *testing.T) {
+	a := NewArena()
+	a.Get(4)
+	a.Get(4)
+	a.Get(2, 2)
+	if a.Live() != 3 {
+		t.Fatalf("Live = %d, want 3", a.Live())
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset = %d, want 0", a.Live())
+	}
+}
+
+// Reference kernels for the tiled matmul variants: straightforward triple
+// loops with ascending-k accumulation per output element — the op order the
+// optimized kernels must reproduce bit-for-bit.
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for x := 0; x < k; x++ {
+				s += a.Data()[i*k+x] * b.Data()[x*n+j]
+			}
+			out.Data()[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func refMatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for x := 0; x < k; x++ {
+				s += a.Data()[i*k+x] * b.Data()[j*k+x]
+			}
+			out.Data()[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func refMatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for x := 0; x < k; x++ {
+				s += a.Data()[x*m+i] * b.Data()[x*n+j]
+			}
+			out.Data()[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// Odd sizes exercise the 4-wide unroll remainders; sizes above mmBlock
+// exercise the cache blocking.
+var kernelSizes = []struct{ m, k, n int }{
+	{1, 1, 1}, {2, 3, 5}, {4, 4, 4}, {5, 7, 9}, {8, 16, 12},
+	{17, 33, 65}, {64, 64, 64}, {70, 65, 130},
+}
+
+func TestTiledMatMulMatchesReference(t *testing.T) {
+	r := frand.New(101)
+	for _, sz := range kernelSizes {
+		a := Randn(r, 1, sz.m, sz.k)
+		b := Randn(r, 1, sz.k, sz.n)
+		got := MatMul(a, b)
+		want := refMatMul(a, b)
+		if !got.AllClose(want, 1e-5) {
+			t.Fatalf("MatMul %dx%dx%d diverged from reference", sz.m, sz.k, sz.n)
+		}
+	}
+}
+
+func TestMatMulTransBVariants(t *testing.T) {
+	r := frand.New(103)
+	for _, sz := range kernelSizes {
+		a := Randn(r, 1, sz.m, sz.k)
+		b := Randn(r, 1, sz.n, sz.k)
+		want := refMatMulTransB(a, b)
+
+		if got := MatMulTransB(a, b); !got.AllClose(want, 1e-5) {
+			t.Fatalf("MatMulTransB %v diverged", sz)
+		}
+		into := New(sz.m, sz.n)
+		into.Fill(7) // must be fully overwritten
+		MatMulTransBInto(into, a, b)
+		if !into.AllClose(want, 1e-5) {
+			t.Fatalf("MatMulTransBInto %v diverged", sz)
+		}
+		acc := Randn(r, 1, sz.m, sz.n)
+		wantAcc := acc.Add(want)
+		MatMulTransBAccInto(acc, a, b)
+		if !acc.AllClose(wantAcc, 1e-4) {
+			t.Fatalf("MatMulTransBAccInto %v diverged", sz)
+		}
+	}
+}
+
+func TestMatMulTransAAccMatchesReference(t *testing.T) {
+	r := frand.New(107)
+	for _, sz := range kernelSizes {
+		a := Randn(r, 1, sz.k, sz.m)
+		b := Randn(r, 1, sz.k, sz.n)
+		want := refMatMulTransA(a, b)
+		got := New(sz.m, sz.n)
+		MatMulTransAAccInto(got, a, b)
+		if !got.AllClose(want, 1e-5) {
+			t.Fatalf("MatMulTransAAccInto %v diverged", sz)
+		}
+		// Accumulation: a second pass must exactly double the result.
+		MatMulTransAAccInto(got, a, b)
+		if !got.AllClose(want.Scaled(2), 1e-4) {
+			t.Fatalf("MatMulTransAAccInto %v did not accumulate", sz)
+		}
+	}
+}
+
+// The slice-level entry points (used by grouped convolution on sub-slices)
+// must agree with the tensor-level ones.
+func TestMatMulSliceEntryPoints(t *testing.T) {
+	r := frand.New(109)
+	a := Randn(r, 1, 5, 7)
+	b := Randn(r, 1, 7, 6)
+	out := make([]float32, 5*6)
+	for i := range out {
+		out[i] = 3 // MatMulSlices must overwrite
+	}
+	MatMulSlices(out, a.Data(), b.Data(), 5, 7, 6)
+	want := refMatMul(a, b)
+	if !FromSlice(out, 5, 6).AllClose(want, 1e-5) {
+		t.Fatal("MatMulSlices diverged")
+	}
+
+	bt := Randn(r, 1, 6, 7)
+	accT := New(5, 6)
+	MatMulTransBAccSlices(accT.Data(), a.Data(), bt.Data(), 5, 7, 6)
+	if !accT.AllClose(refMatMulTransB(a, bt), 1e-5) {
+		t.Fatal("MatMulTransBAccSlices diverged")
+	}
+
+	at := Randn(r, 1, 7, 5)
+	accA := New(5, 6)
+	MatMulTransAAccSlices(accA.Data(), at.Data(), b.Data(), 7, 5, 6)
+	if !accA.AllClose(refMatMulTransA(at, b), 1e-5) {
+		t.Fatal("MatMulTransAAccSlices diverged")
+	}
+}
+
+// BenchmarkMatMul tracks ns/op and allocs/op of the hot kernels at the sizes
+// the training stack actually hits (Dense layers and im2col-lowered convs).
+func BenchmarkMatMul(b *testing.B) {
+	r := frand.New(11)
+	for _, sz := range []struct{ m, k, n int }{{8, 64, 128}, {64, 64, 64}, {128, 128, 128}} {
+		a := Randn(r, 1, sz.m, sz.k)
+		bb := Randn(r, 1, sz.k, sz.n)
+		bt := Randn(r, 1, sz.n, sz.k)
+		at := Randn(r, 1, sz.k, sz.m)
+		out := New(sz.m, sz.n)
+		name := func(op string) string {
+			return fmt.Sprintf("%s/%dx%dx%d", op, sz.m, sz.k, sz.n)
+		}
+		b.Run(name("Into"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, a, bb)
+			}
+		})
+		b.Run(name("TransBInto"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBInto(out, a, bt)
+			}
+		})
+		b.Run(name("TransAAccInto"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTransAAccInto(out, at, bb)
+			}
+		})
+		b.Run(name("TransBAccInto"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBAccInto(out, a, bt)
+			}
+		})
+	}
+}

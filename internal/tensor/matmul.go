@@ -6,9 +6,15 @@ import "fmt"
 // operands inside L1 cache for float32 data.
 const mmBlock = 64
 
+// All kernels below preserve a strict per-accumulation-target operation
+// order: for any output element, partial products are added in ascending
+// inner-dimension order, exactly as the pre-tiled scalar kernels did. The
+// register tiling (4-wide j unrolling) only changes WHICH targets are in
+// flight at once, never the order of adds into one target, so results are
+// bit-identical to the straightforward loops and independent of tiling.
+
 // MatMul returns a @ b for 2-D tensors a[m,k] and b[k,n] as a new [m,n]
-// tensor. It uses a cache-blocked i-k-j loop ordering, which on row-major
-// data streams both b and the output and vectorizes well.
+// tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-D tensors, have %v @ %v", a.shape, b.shape))
@@ -30,8 +36,7 @@ func MatMulInto(out, a, b *Tensor) {
 	if out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.shape, m, n))
 	}
-	out.Zero()
-	matmulAcc(out.data, a.data, b.data, m, k, n)
+	MatMulSlices(out.data, a.data, b.data, m, k, n)
 }
 
 // MatMulAccInto computes out += a @ b without zeroing out first.
@@ -44,25 +49,54 @@ func MatMulAccInto(out, a, b *Tensor) {
 	matmulAcc(out.data, a.data, b.data, m, k, n)
 }
 
-// matmulAcc is the blocked kernel: out[m,n] += a[m,k] @ b[k,n], all
-// row-major flat slices.
+// MatMulSlices computes out = a @ b on raw row-major slices: out[m,n],
+// a[m,k], b[k,n]. It is the header-free entry point used by layers that
+// multiply sub-slices of larger buffers (e.g. grouped convolution) on the
+// per-batch hot path, where wrapping every operand in a Tensor would
+// allocate.
+func MatMulSlices(out, a, b []float32, m, k, n int) {
+	clear(out[:m*n])
+	matmulAcc(out, a, b, m, k, n)
+}
+
+// matmulAcc is the blocked, register-tiled kernel: out[m,n] += a[m,k] @
+// b[k,n], all row-major flat slices. Within each k-block, four output
+// columns are accumulated in registers across the whole block, quartering
+// the load/store traffic on out relative to a scalar j sweep.
 func matmulAcc(out, a, b []float32, m, k, n int) {
 	for i0 := 0; i0 < m; i0 += mmBlock {
 		iMax := min(i0+mmBlock, m)
 		for k0 := 0; k0 < k; k0 += mmBlock {
 			kMax := min(k0+mmBlock, k)
 			for i := i0; i < iMax; i++ {
-				arow := a[i*k : i*k+k]
+				arow := a[i*k+k0 : i*k+kMax]
 				orow := out[i*n : i*n+n]
-				for kk := k0; kk < kMax; kk++ {
-					av := arow[kk]
-					if av == 0 {
-						continue
+				j := 0
+				for ; j+4 <= n; j += 4 {
+					c0, c1, c2, c3 := orow[j], orow[j+1], orow[j+2], orow[j+3]
+					bi := k0*n + j
+					for _, av := range arow {
+						if av != 0 {
+							bq := b[bi : bi+4 : bi+4]
+							c0 += av * bq[0]
+							c1 += av * bq[1]
+							c2 += av * bq[2]
+							c3 += av * bq[3]
+						}
+						bi += n
 					}
-					brow := b[kk*n : kk*n+n]
-					for j, bv := range brow {
-						orow[j] += av * bv
+					orow[j], orow[j+1], orow[j+2], orow[j+3] = c0, c1, c2, c3
+				}
+				for ; j < n; j++ {
+					c := orow[j]
+					bi := k0*n + j
+					for _, av := range arow {
+						if av != 0 {
+							c += av * b[bi]
+						}
+						bi += n
 					}
+					orow[j] = c
 				}
 			}
 		}
@@ -72,28 +106,90 @@ func matmulAcc(out, a, b []float32, m, k, n int) {
 // MatMulTransB returns a @ bᵀ for a[m,k] and b[n,k] as [m,n]. This avoids
 // materializing the transpose in backward passes.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m, n := transBDims(a, b)
+	out := New(m, n)
+	matMulTransB(out.data, a.data, b.data, m, a.shape[1], n, false)
+	return out
+}
+
+// MatMulTransBInto computes out = a @ bᵀ into the existing [m,n] tensor.
+func MatMulTransBInto(out, a, b *Tensor) {
+	m, n := transBDims(a, b)
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	matMulTransB(out.data, a.data, b.data, m, a.shape[1], n, false)
+}
+
+// MatMulTransBAccInto computes out += a @ bᵀ for a[m,k] and b[n,k] into the
+// existing [m,n] tensor — the allocation-free weight-gradient accumulation
+// for convolution (dW += dy @ colᵀ) on the per-batch training hot path.
+func MatMulTransBAccInto(out, a, b *Tensor) {
+	m, n := transBDims(a, b)
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBAccInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	matMulTransB(out.data, a.data, b.data, m, a.shape[1], n, true)
+}
+
+// MatMulTransBAccSlices is MatMulTransBAccInto on raw row-major slices:
+// out[m,n] += a[m,k] @ b[n,k]ᵀ.
+func MatMulTransBAccSlices(out, a, b []float32, m, k, n int) {
+	matMulTransB(out, a, b, m, k, n, true)
+}
+
+func transBDims(a, b *Tensor) (m, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMulTransB needs 2-D tensors")
 	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", k, k2))
+	if a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", a.shape[1], b.shape[1]))
 	}
-	out := New(m, n)
+	return a.shape[0], b.shape[0]
+}
+
+// matMulTransB computes out[m,n] (+)= a[m,k] @ b[n,k]ᵀ. Each output element
+// is a dot product of two contiguous rows; four dot products run at once so
+// every load of a's row feeds four accumulators.
+func matMulTransB(out, a, b []float32, m, k, n int, acc bool) {
 	for i := 0; i < m; i++ {
-		arow := a.data[i*k : i*k+k]
-		orow := out.data[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : j*k+k]
-			var s float32
-			for x := range arow {
-				s += arow[x] * brow[x]
+		arow := a[i*k : i*k+k]
+		orow := out[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : j*k+k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for x, av := range arow {
+				s0 += av * b0[x]
+				s1 += av * b1[x]
+				s2 += av * b2[x]
+				s3 += av * b3[x]
 			}
-			orow[j] = s
+			if acc {
+				orow[j] += s0
+				orow[j+1] += s1
+				orow[j+2] += s2
+				orow[j+3] += s3
+			} else {
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			for x, av := range arow {
+				s += av * brow[x]
+			}
+			if acc {
+				orow[j] += s
+			} else {
+				orow[j] = s
+			}
 		}
 	}
-	return out
 }
 
 // MatMulTransA returns aᵀ @ b for a[k,m] and b[k,n] as [m,n], used for
@@ -122,25 +218,52 @@ func MatMulTransAAccInto(out, a, b *Tensor) {
 	if out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransAAccInto out shape %v, want [%d %d]", out.shape, m, n))
 	}
-	// out[i,j] += Σ_x a[x,i] b[x,j]: accumulate outer products row by row.
-	for x := 0; x < k; x++ {
-		arow := a.data[x*m : x*m+m]
-		brow := b.data[x*n : x*n+n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
+	MatMulTransAAccSlices(out.data, a.data, b.data, k, m, n)
+}
+
+// MatMulTransAAccSlices is MatMulTransAAccInto on raw row-major slices:
+// out[m,n] += a[k,m]ᵀ @ b[k,n]. Convolution's input-gradient lowering
+// (dcol += Wᵀ @ dy) uses it directly, instead of materializing the weight
+// transpose per sample.
+func MatMulTransAAccSlices(out, a, b []float32, k, m, n int) {
+	// out[i,j] += Σ_x a[x,i]·b[x,j], with x ascending per target and four
+	// output columns held in registers across each x block. Blocking over x
+	// keeps the strided a column (stride m) and the touched b rows resident
+	// while the j sweep re-reads them; per-target add order stays x
+	// ascending across blocks, so results match the scalar loop exactly.
+	for x0 := 0; x0 < k; x0 += mmBlock {
+		xMax := min(x0+mmBlock, k)
+		for i := 0; i < m; i++ {
+			orow := out[i*n : i*n+n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				c0, c1, c2, c3 := orow[j], orow[j+1], orow[j+2], orow[j+3]
+				ai, bi := x0*m+i, x0*n+j
+				for x := x0; x < xMax; x++ {
+					if av := a[ai]; av != 0 {
+						bq := b[bi : bi+4 : bi+4]
+						c0 += av * bq[0]
+						c1 += av * bq[1]
+						c2 += av * bq[2]
+						c3 += av * bq[3]
+					}
+					ai += m
+					bi += n
+				}
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = c0, c1, c2, c3
 			}
-			orow := out.data[i*n : i*n+n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for ; j < n; j++ {
+				c := orow[j]
+				ai, bi := x0*m+i, x0*n+j
+				for x := x0; x < xMax; x++ {
+					if av := a[ai]; av != 0 {
+						c += av * b[bi]
+					}
+					ai += m
+					bi += n
+				}
+				orow[j] = c
 			}
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

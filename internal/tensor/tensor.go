@@ -29,16 +29,21 @@ type Tensor struct {
 
 // New allocates a zero-filled tensor with the given shape. A zero-dimensional
 // call (no arguments) produces a scalar tensor of size 1.
+//
+// Only the copied shape slice `s` is referenced below (including in the
+// panic message): referencing the variadic parameter from an escaping
+// context would force every caller to heap-allocate its shape literal, which
+// matters for the arena fast path.
 func New(shape ...int) *Tensor {
+	s := make([]int, len(shape))
+	copy(s, shape)
 	n := 1
-	for _, d := range shape {
+	for _, d := range s {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, s))
 		}
 		n *= d
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	return &Tensor{shape: s, data: make([]float32, n)}
 }
 
@@ -120,6 +125,26 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 // Reshape returns a view of t with a new shape of the same total size. The
 // view shares data with t. One dimension may be -1 to infer its size.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
+	return t.ReshapeInto(nil, shape...)
+}
+
+// ReshapeInto is Reshape with header recycling: when view is non-nil, its
+// header and shape slice are reused instead of allocating a fresh view, and
+// view is repointed at t's data. Reshape-style layers call it with a cached
+// header so per-batch view changes cost no allocation. The returned tensor
+// (view itself when non-nil) aliases t's data; any previous aliasing of view
+// is overwritten.
+func (t *Tensor) ReshapeInto(view *Tensor, shape ...int) *Tensor {
+	if view == nil {
+		view = &Tensor{}
+	}
+	if cap(view.shape) >= len(shape) {
+		view.shape = view.shape[:len(shape)]
+	} else {
+		view.shape = make([]int, len(shape))
+	}
+	// Error paths reference the copied view.shape, not the variadic
+	// parameter, so callers' shape literals stay on the stack.
 	n, infer := 1, -1
 	for i, d := range shape {
 		if d == -1 {
@@ -127,23 +152,23 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 				panic("tensor: Reshape with multiple -1 dims")
 			}
 			infer = i
-			continue
+		} else {
+			n *= d
 		}
-		n *= d
+		view.shape[i] = d
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	if infer >= 0 {
 		if n == 0 || len(t.data)%n != 0 {
-			panic(fmt.Sprintf("tensor: cannot infer dim for reshape %v of size %d", shape, len(t.data)))
+			panic(fmt.Sprintf("tensor: cannot infer dim for reshape %v of size %d", view.shape, len(t.data)))
 		}
-		s[infer] = len(t.data) / n
-		n *= s[infer]
+		view.shape[infer] = len(t.data) / n
+		n *= view.shape[infer]
 	}
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: reshape %v incompatible with size %d", shape, len(t.data)))
+		panic(fmt.Sprintf("tensor: reshape %v incompatible with size %d", view.shape, len(t.data)))
 	}
-	return &Tensor{shape: s, data: t.data}
+	view.data = t.data
+	return view
 }
 
 // Clone returns a deep copy of t.
