@@ -176,6 +176,45 @@ func BenchmarkTrainLocal(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainLocalParallel measures intra-op kernel parallelism on the
+// single-client path the ROADMAP called out: one client with large dense
+// layers, trained with the network granted 1/2/4/8 cores. The kernels are
+// bit-identical at every budget, so this sweep isolates pure speedup;
+// allocs/op must stay flat (the parallel dispatch is pooled). Speedup
+// requires physical cores — on a single-core runner all budgets take the
+// serial fallback and times converge.
+func BenchmarkTrainLocalParallel(b *testing.B) {
+	r := frand.New(17)
+	ds := &dataset.Dataset{NumClasses: 12}
+	for i := 0; i < 64; i++ {
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X: tensor.Randn(r, 0.5, 8, 8, 8), Label: i % 12,
+		})
+	}
+	cfg := fl.Config{
+		Rounds: 1, ClientsPerRound: 1, BatchSize: 32, LocalEpochs: 1,
+		LR: 0.05, Seed: 1,
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("intraop=%d", par), func(b *testing.B) {
+			br := frand.New(7)
+			net := nn.NewNetwork(
+				nn.NewFlatten(),
+				nn.NewDense(br, 512, 1024), nn.NewReLU(),
+				nn.NewDense(br, 1024, 512), nn.NewReLU(),
+				nn.NewDense(br, 512, 12),
+			)
+			net.SetIntraOp(par)
+			rng := frand.New(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fl.TrainLocal(net, ds, cfg, nn.SoftmaxCrossEntropy{}, rng, nil, nil)
+			}
+		})
+	}
+}
+
 // Substrate micro-benchmarks ---------------------------------------------------
 
 // BenchmarkDeviceCapture measures one full sensor+ISP capture of a 64x64

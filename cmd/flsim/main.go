@@ -59,6 +59,7 @@ func main() {
 		perClass = flag.Int("per-class", 12, "training scenes per class per device")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		workers  = flag.Int("workers", 4, "parallel client trainers")
+		intraop  = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier  = flag.Bool("barrier", false, "force legacy barrier aggregation (materialize all K snapshots)")
 		logEvery = flag.Int("log-every", 10, "print loss every N rounds")
 	)
@@ -89,6 +90,7 @@ func main() {
 		LR:               *lr,
 		Seed:             *seed,
 		Workers:          *workers,
+		IntraOp:          *intraop,
 		DisableStreaming: *barrier,
 	}
 	counts := experiments.MarketShareCounts(dd, *clients)

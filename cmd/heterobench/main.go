@@ -28,6 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		seed    = flag.Uint64("seed", 42, "master random seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = auto)")
+		intraop = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier = flag.Bool("barrier", false, "force legacy barrier aggregation instead of streaming")
 		list    = flag.Bool("list", false, "list available experiments")
 	)
@@ -51,6 +52,7 @@ func main() {
 		opts.Workers = *workers
 	}
 	opts.DisableStreaming = *barrier
+	opts.IntraOp = *intraop
 
 	names := []string{*exp}
 	if *exp == "all" {

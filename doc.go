@@ -81,6 +81,40 @@
 //     loss gradient via nn.LossInto.EvalInto) recycle through a pooled
 //     scratch arena in fl, reset per batch before Forward runs.
 //
+// # Parallelism & determinism
+//
+// The compute substrate is parallel at two grains that compose by budget
+// division, never by contention:
+//
+//   - Client-level: the fl server trains W client replicas concurrently
+//     (fl.Config.Workers), one network + arena per worker goroutine.
+//   - Intra-op: within one replica, the tensor kernels (tensor.MatMul*P)
+//     and the Conv2D sample×group loops split their output rows across a
+//     persistent worker pool (internal/parallel), under an explicit core
+//     budget granted via nn.Network.SetIntraOp.
+//
+// Core-budget rules: fl.Config.IntraOp is the total kernel budget
+// (0 = GOMAXPROCS). The server grants each of its W workers an equal share
+// (at least 1), so W replicas × their kernels never oversubscribe the
+// machine; single-client paths (W=1, experiments.TrainCentralized, the swad
+// harness, Server.GlobalNet evaluation) receive the full budget. A budget
+// of 1 is byte-for-byte the serial kernels.
+//
+// Fixed-partitioning invariant: parallel.Run splits a loop's index range
+// into contiguous chunks keyed only by (budget, length, grain) — never by
+// dynamic stealing — and every output element is computed entirely by one
+// goroutine running the serial inner loops in the serial order. Gradient
+// accumulations that cross the parallel dimension (conv dW/db) are instead
+// parallelized over output-channel rows with samples folded in ascending
+// order per row. Both ways, the per-target operation order is exactly the
+// serial kernels', so training is BIT-identical at every budget and worker
+// count (the kernel equivalence tests assert tol 0). Work-based grains
+// (parallel.GrainFor) keep small matmuls serial, and dispatch never queues:
+// a chunk runs on an idle pool worker or inline on the caller, which makes
+// nested parallelism (intra-op kernels inside fl workers) deadlock-free.
+// The dispatch path allocates nothing in steady state — kernels recycle
+// their parallel.Runner state, preserving the zero-allocation hot path.
+//
 // The root package exists to carry the repository-level benchmarks in
 // bench_test.go, one per table and figure of the paper's evaluation, plus
 // the aggregation-pipeline benchmarks.

@@ -250,9 +250,21 @@ func (a *accumulator) Finalize() nn.Weights {
 	return out
 }
 
+// FinalizeInto implements fl.IntoFinalizer by forwarding to the FedAvg
+// weight fold, so the server's recycled global buffer serves HeteroSwitch
+// rounds too; the L_EMA update happens exactly as in Finalize.
+func (a *accumulator) FinalizeInto(dst nn.Weights) bool {
+	ok := a.weights.(fl.IntoFinalizer).FinalizeInto(dst)
+	if a.total > 0 {
+		a.h.updateLEMA(a.lossSum / a.total)
+	}
+	return ok
+}
+
 // interface conformance checks
 var (
 	_ fl.Strategy              = (*HeteroSwitch)(nil)
 	_ fl.StreamingAggregator   = (*HeteroSwitch)(nil)
 	_ fl.ResettableAccumulator = (*accumulator)(nil)
+	_ fl.IntoFinalizer         = (*accumulator)(nil)
 )

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"sync"
+
+	"heteroswitch/internal/tensor"
+)
+
+// BatchScratch bundles the recycled per-batch buffers of one training or
+// evaluation loop: the stacked input, dense multi-label targets (both drawn
+// from a private arena, reset once per batch) and the label slice. Buffers
+// live only between two Next calls — exactly one batch. A loop's network
+// arena is NOT usable for these because the network resets it at the top of
+// Forward, while the input must be filled before Forward runs.
+//
+// Scratches are recycled process-wide through GetBatchScratch /
+// PutBatchScratch, so the steady state of any batched loop — training hot
+// path or eval sweep — allocates no per-batch buffers at all.
+type BatchScratch struct {
+	arena  *tensor.Arena
+	labels []int
+	shape  []int
+}
+
+var batchScratchPool = sync.Pool{
+	New: func() any { return &BatchScratch{arena: tensor.NewArena()} },
+}
+
+// GetBatchScratch returns a pooled scratch. Pair with PutBatchScratch
+// (usually deferred) so the buffers recycle across loops, clients, and
+// rounds.
+func GetBatchScratch() *BatchScratch {
+	return batchScratchPool.Get().(*BatchScratch)
+}
+
+// PutBatchScratch returns a scratch to the pool. The tensors it handed out
+// must no longer be used.
+func PutBatchScratch(bs *BatchScratch) { batchScratchPool.Put(bs) }
+
+// Next recycles the previous batch's buffers and fills them with samples
+// [lo, hi) of ds. For multi-label data it returns (x, y, nil), otherwise
+// (x, nil, labels). The returned tensors are valid until the next Next call
+// on this scratch.
+func (bs *BatchScratch) Next(ds *Dataset, lo, hi int) (x, y *tensor.Tensor, labels []int) {
+	bs.arena.Reset()
+	n := hi - lo
+	bs.shape = append(bs.shape[:0], n)
+	bs.shape = append(bs.shape, ds.Samples[lo].X.Shape()...)
+	x = bs.arena.GetUninit(bs.shape...)
+	if ds.Samples[lo].Multi != nil {
+		y = bs.arena.GetUninit(n, ds.NumClasses)
+		ds.BatchMultiInto(x, y, lo, hi)
+		return x, y, nil
+	}
+	if cap(bs.labels) < n {
+		bs.labels = make([]int, n)
+	}
+	labels = bs.labels[:n]
+	ds.BatchInto(x, labels, lo, hi)
+	return x, nil, labels
+}
+
+// Alloc returns an uninitialized tensor with the current batch's lifetime
+// (recycled at the next Next call), co-allocating loop-side tensors — a loss
+// gradient, say — with the batch buffers. Within one batch, returned tensors
+// never alias each other or the batch buffers.
+func (bs *BatchScratch) Alloc(shape ...int) *tensor.Tensor {
+	return bs.arena.GetUninit(shape...)
+}

@@ -42,6 +42,7 @@ func ablationRig(opts Options) (func(name string, strat fl.Strategy) (MethodScor
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	counts := MarketShareCounts(dd, opts.scaled(60))
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)

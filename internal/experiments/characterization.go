@@ -51,6 +51,7 @@ func Fig1(opts Options) (*Fig1Result, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)
 
@@ -185,6 +186,7 @@ func CrossDevice(opts Options, mode dataset.CaptureMode) (*CrossDeviceResult, er
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)
 	for i := 0; i < n; i++ {
 		net := builder()
+		net.SetIntraOp(opts.IntraOpBudget())
 		TrainCentralized(net, dd.Train[i], epochs, 10, 0.05, frand.New(opts.Seed^uint64(i+7)))
 		res.Acc[i] = make([]float64, n)
 		res.Degradation[i] = make([]float64, n)
@@ -281,6 +283,7 @@ func Fig3(opts Options) (*Fig3Result, error) {
 	}
 
 	net := SimpleCNNBuilder(opts.Seed, gen.NumClasses())()
+	net.SetIntraOp(opts.IntraOpBudget())
 	TrainCentralized(net, train, opts.scaled(20), 10, 0.05, frand.New(opts.Seed^3))
 	baseAcc := metrics.Accuracy(net, baseTest, 16)
 

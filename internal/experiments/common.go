@@ -22,6 +22,7 @@ import (
 	"heteroswitch/internal/metrics"
 	"heteroswitch/internal/models"
 	"heteroswitch/internal/nn"
+	"heteroswitch/internal/parallel"
 	"heteroswitch/internal/scene"
 )
 
@@ -41,6 +42,12 @@ type Options struct {
 	// materialized before aggregating. The streaming shard-parallel path is
 	// the default; this is the A/B knob for memory/latency comparisons.
 	DisableStreaming bool
+	// IntraOp is the total intra-op kernel parallelism budget
+	// (fl.Config.IntraOp): cores the tensor kernels may occupy across all
+	// client workers combined. 0 = auto (GOMAXPROCS, split evenly across
+	// Workers); 1 = serial kernels. Results are bit-identical at every
+	// setting.
+	IntraOp int
 }
 
 // DefaultOptions returns the standard configuration (Scale 1).
@@ -53,6 +60,16 @@ func DefaultOptions() Options {
 		w = 8
 	}
 	return Options{Scale: 1, Seed: 42, Workers: w, OutRes: 32}
+}
+
+// IntraOpBudget returns the kernel budget for single-client training and
+// evaluation paths: the explicit IntraOp option when set, otherwise the full
+// machine (there is no worker parallelism to share it with).
+func (o Options) IntraOpBudget() int {
+	if o.IntraOp > 0 {
+		return o.IntraOp
+	}
+	return parallel.Workers()
 }
 
 // scaled returns max(1, round(n*Scale)).
@@ -144,11 +161,18 @@ func BuildDeviceData(opts Options, perClassTrain, perClassTest int, mode dataset
 }
 
 // TrainCentralized runs plain minibatch SGD for the given epochs — the
-// single-device training used by the characterization experiments (§3).
+// single-device training used by the characterization experiments (§3). As
+// a single-client path it defaults the network to the full intra-op budget
+// (the parallel kernels are bit-identical to serial, so this only changes
+// speed); a budget the caller already granted — e.g. from
+// Options.IntraOpBudget, which honors -intraop — is left alone.
 func TrainCentralized(net *nn.Network, ds *dataset.Dataset, epochs, batch int, lr float64, rng *frand.RNG) {
 	cfg := fl.Config{
 		Rounds: 1, ClientsPerRound: 1,
 		BatchSize: batch, LocalEpochs: epochs, LR: lr, Workers: 1,
+	}
+	if net.IntraOp() == 0 {
+		net.SetIntraOp(parallel.Workers())
 	}
 	fl.TrainLocal(net, ds, cfg, nn.SoftmaxCrossEntropy{}, rng, nil, nil)
 }

@@ -56,6 +56,7 @@ func ECG(opts Options) (*ECGResult, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	counts := EqualCounts(int(ecg.NumSensors), 12)
 

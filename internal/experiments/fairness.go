@@ -52,6 +52,7 @@ func Fig4(opts Options) (*Fig4Result, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	srv, err := RunFL(fl.FedAvg{}, dd, MarketShareCounts(dd, opts.scaled(50)), cfg, SimpleCNNBuilder(opts.Seed, dd.Classes))
 	if err != nil {
@@ -118,6 +119,7 @@ func Fig5(opts Options) (*Fig5Result, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)
 

@@ -60,6 +60,7 @@ func Table6(opts Options) (*Table6Result, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	counts := EqualCounts(cfg.NumDeviceTypes, cfg.NumDeviceTypes) // one client per device type
 

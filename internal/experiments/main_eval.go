@@ -81,6 +81,7 @@ func table4Config(opts Options) fl.Config {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 }
 

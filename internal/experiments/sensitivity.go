@@ -55,6 +55,7 @@ func Fig9(opts Options) (*Fig9Result, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	eval := func(cfg fl.Config) (float64, error) {
 		srv, err := RunFL(fl.FedAvg{}, dd, counts, cfg, builder)

@@ -75,8 +75,12 @@ func sceneDataset(opts Options, perClass int, salt string) *dataset.Dataset {
 
 // trainWithAveraging trains with per-batch random transforms (degree 0.3)
 // and the selected weight-averaging regime, returning the final weights.
+// As a single-client path it grants the network the single-client intra-op
+// budget (full machine unless -intraop caps it), and batches recycle
+// through the pooled dataset.BatchScratch.
 func trainWithAveraging(opts Options, train *dataset.Dataset, method Fig7Method, epochs int) *nn.Network {
 	net := SimpleCNNBuilder(opts.Seed, train.NumClasses)()
+	net.SetIntraOp(opts.IntraOpBudget())
 	opt := nn.NewSGD(0.05, 0.9, 0)
 	rng := frand.New(opts.Seed ^ 0xf16)
 	transforms := trainTransforms(0.3)
@@ -102,6 +106,8 @@ func trainWithAveraging(opts Options, train *dataset.Dataset, method Fig7Method,
 	// running mean.
 	warmup := epochs / 2
 	const batch = 10
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	for e := 0; e < epochs; e++ {
 		rng.ShuffleInts(order)
 		shuffled := train.Subset(order)
@@ -111,7 +117,7 @@ func trainWithAveraging(opts Options, train *dataset.Dataset, method Fig7Method,
 		aug := core.TransformDataset(shuffled, tf, rng)
 		for lo := 0; lo < aug.Len(); lo += batch {
 			hi := min(lo+batch, aug.Len())
-			x, labels := aug.Batch(lo, hi)
+			x, _, labels := bs.Next(aug, lo, hi)
 			out := net.Forward(x, true)
 			_, grad := nn.SoftmaxCrossEntropy{}.Eval(out, nn.ClassTarget(labels))
 			net.Backward(grad)

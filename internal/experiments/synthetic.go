@@ -144,6 +144,7 @@ func Fig8(opts Options) (*Fig8Result, error) {
 		Seed:             opts.Seed,
 		Workers:          opts.Workers,
 		DisableStreaming: opts.DisableStreaming,
+		IntraOp:          opts.IntraOp,
 	}
 	counts := EqualCounts(numDevices, opts.scaled(20))
 

@@ -30,6 +30,14 @@ type Config struct {
 	WeightDecay     float64 // local L2 weight decay
 	Seed            uint64  // master seed
 	Workers         int     // parallel client trainers (<=1 means serial)
+	// IntraOp is the total intra-op kernel parallelism budget: the number of
+	// cores the tensor kernels (matmul, conv lowering) may occupy across all
+	// client workers combined. 0 means auto (GOMAXPROCS). The server grants
+	// each of its Workers an equal share (at least 1), so client-level and
+	// kernel-level parallelism compose without oversubscribing the machine;
+	// a share of 1 byte-for-byte selects the serial kernels. Results are
+	// bit-identical at every setting.
+	IntraOp int
 	// ClientDropout is the probability that a sampled client fails to
 	// report back this round (device offline, battery, network) — the
 	// partial-participation regime of production FL. 0 disables dropout.
@@ -65,6 +73,9 @@ func (c Config) Validate() error {
 	}
 	if c.ClientDropout < 0 || c.ClientDropout >= 1 {
 		return fmt.Errorf("fl: client dropout %v outside [0,1)", c.ClientDropout)
+	}
+	if c.IntraOp < 0 {
+		return fmt.Errorf("fl: negative intra-op budget %d", c.IntraOp)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/nn"
+	"heteroswitch/internal/parallel"
 )
 
 // Server drives the federated training loop: sample K clients, broadcast the
@@ -30,6 +31,12 @@ type Server struct {
 	// when the strategy's accumulators are resettable (so the model-sized
 	// float64 sum buffers are allocated once per worker, not per round).
 	accs []Accumulator
+	// spare double-buffers the streaming path's outgoing global weights:
+	// Finalize writes each round's new global into the weight set retired
+	// two rounds ago instead of allocating a model-sized nn.Weights per
+	// round. Safe because nothing retains a global weight set across rounds
+	// — checkpoints serialize immediately and GlobalNet/replicas copy.
+	spare nn.Weights
 }
 
 // NewServer builds a server with a fresh global model from the builder.
@@ -48,8 +55,10 @@ func NewServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy, cli
 		workers = 1
 	}
 	nets := make([]*nn.Network, workers)
+	share := intraOpShare(cfg, workers)
 	for i := range nets {
 		nets[i] = builder()
+		nets[i].SetIntraOp(share)
 	}
 	return &Server{
 		Cfg:      cfg,
@@ -61,6 +70,26 @@ func NewServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy, cli
 		rng:      frand.New(cfg.Seed ^ 0x5ca1ab1e),
 		nets:     nets,
 	}, nil
+}
+
+// intraOpShare is the core-budget token grant: each of the server's W client
+// workers gets an equal share of the total intra-op budget (cfg.IntraOp, or
+// GOMAXPROCS when 0), at least 1, so W workers × their kernel parallelism
+// never oversubscribes the machine. W=1 — the single-client path — receives
+// the full budget.
+func intraOpShare(cfg Config, workers int) int {
+	total := cfg.IntraOp
+	if total <= 0 {
+		total = parallel.Workers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	share := total / workers
+	if share < 1 {
+		share = 1
+	}
+	return share
 }
 
 // SampleClients picks K distinct clients uniformly for the round.
@@ -180,7 +209,7 @@ func (s *Server) RunRound(round int) RoundStats {
 			}(s.accs[w], lo, hi, s.nets[w])
 		}
 		wg.Wait()
-		s.Global = mergeShards(s.accs[:workers])
+		s.Global = s.finalizeRound(mergeShards(s.accs[:workers]))
 	} else {
 		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -218,6 +247,30 @@ func (s *Server) RunRound(round int) RoundStats {
 	}
 	stats.TotalEpochs = len(sampled) * s.Cfg.LocalEpochs
 	return stats
+}
+
+// finalizeRound turns the round's merged root accumulator into the new
+// global weights. When the accumulator supports IntoFinalizer, the new
+// global is written into the server's spare weight buffer — the set retired
+// as global two rounds ago — so the steady state of the streaming path
+// allocates no model-sized weights at all. The previous global (still
+// referenced by this round's results until now) becomes the next spare.
+// Rounds that aggregated nothing (total dropout) keep the global and the
+// spare untouched.
+func (s *Server) finalizeRound(root Accumulator) nn.Weights {
+	fi, ok := root.(IntoFinalizer)
+	if !ok {
+		return root.Finalize()
+	}
+	if s.spare.Params == nil {
+		s.spare = s.Global.Zero()
+	}
+	if !fi.FinalizeInto(s.spare) {
+		return s.Global
+	}
+	neww := s.spare
+	s.spare = s.Global
+	return neww
 }
 
 // SaveCheckpoint serializes the current round counter and global weights so
@@ -265,11 +318,14 @@ func (s *Server) Run(callback func(RoundStats)) {
 }
 
 // GlobalNet returns a network loaded with the current global weights, for
-// evaluation. The returned network is owned by the caller.
+// evaluation. The returned network is owned by the caller and gets the full
+// intra-op budget: evaluation is a single-goroutine path, so its kernels may
+// take the whole machine.
 func (s *Server) GlobalNet() *nn.Network {
 	net := s.builder()
 	if err := net.LoadWeights(s.Global); err != nil {
 		panic("fl: builder incompatible with global weights: " + err.Error())
 	}
+	net.SetIntraOp(intraOpShare(s.Cfg, 1))
 	return net
 }

@@ -38,6 +38,18 @@ type Accumulator interface {
 	Finalize() nn.Weights
 }
 
+// IntoFinalizer is an optional Accumulator capability: accumulators that can
+// write the round's new global weights into a caller-provided buffer
+// implement it so the server can double-buffer the outgoing global instead
+// of allocating a model-sized nn.Weights every round. dst must be shaped
+// like the round's global weights; every element is overwritten on success.
+// FinalizeInto returns false — leaving dst untouched — when nothing was
+// accumulated (the round lost every client), in which case the caller keeps
+// the old global, exactly as Finalize would have returned it.
+type IntoFinalizer interface {
+	FinalizeInto(dst nn.Weights) bool
+}
+
 // ResettableAccumulator is an optional Accumulator capability: accumulators
 // whose state can be rewound implement it so the server reuses one
 // accumulator per worker for its whole lifetime instead of allocating
@@ -150,33 +162,55 @@ func (a *fedAvgAccumulator) Finalize() nn.Weights {
 	if a.total == 0 {
 		return a.global
 	}
-	inv := 1.0 / a.total
 	out := a.global.Zero()
-	for i, sum := range a.params {
-		dst := out.Params[i].Data()
-		for j, v := range sum {
-			dst[j] = float32(v * inv)
-		}
-	}
-	for i, sum := range a.states {
-		dst := out.States[i].Data()
-		for j, v := range sum {
-			dst[j] = float32(v * inv)
-		}
-	}
+	a.FinalizeInto(out)
 	return out
 }
 
+// FinalizeInto implements IntoFinalizer: the sample-weighted average is
+// rounded from the float64 sums straight into dst's float32 tensors, the
+// same single rounding Finalize performs, so the recycled and allocating
+// paths are bit-identical.
+func (a *fedAvgAccumulator) FinalizeInto(dst nn.Weights) bool {
+	if a.total == 0 {
+		return false
+	}
+	if len(dst.Params) != len(a.params) || len(dst.States) != len(a.states) {
+		panic("fl: FinalizeInto buffer incompatible with accumulator")
+	}
+	inv := 1.0 / a.total
+	for i, sum := range a.params {
+		d := dst.Params[i].Data()
+		if len(d) != len(sum) {
+			panic("fl: FinalizeInto param size incompatible with accumulator")
+		}
+		for j, v := range sum {
+			d[j] = float32(v * inv)
+		}
+	}
+	for i, sum := range a.states {
+		d := dst.States[i].Data()
+		if len(d) != len(sum) {
+			panic("fl: FinalizeInto state size incompatible with accumulator")
+		}
+		for j, v := range sum {
+			d[j] = float32(v * inv)
+		}
+	}
+	return true
+}
+
 // mergeShards folds accs[1:] into accs[0] tree-style (pairwise, doubling
-// stride) and finalizes the root. Tree order keeps the merge O(log W) deep;
-// the accumulators' float64 sums make the order numerically immaterial.
-func mergeShards(accs []Accumulator) nn.Weights {
+// stride) and returns the root, ready to finalize. Tree order keeps the
+// merge O(log W) deep; the accumulators' float64 sums make the order
+// numerically immaterial.
+func mergeShards(accs []Accumulator) Accumulator {
 	for stride := 1; stride < len(accs); stride *= 2 {
 		for i := 0; i+stride < len(accs); i += 2 * stride {
 			accs[i].Merge(accs[i+stride])
 		}
 	}
-	return accs[0].Finalize()
+	return accs[0]
 }
 
 // weightsPool recycles weight-snapshot buffers across rounds so the

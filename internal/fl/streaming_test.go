@@ -38,7 +38,7 @@ func streamAggregate(sa StreamingAggregator, global nn.Weights, results []Client
 	for i, r := range results {
 		accs[i%shards].Accumulate(r)
 	}
-	return mergeShards(accs)
+	return mergeShards(accs).Finalize()
 }
 
 // Property: streaming FedAvg aggregation is numerically equivalent (within

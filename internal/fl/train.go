@@ -1,61 +1,20 @@
 package fl
 
 import (
-	"sync"
-
 	"heteroswitch/internal/dataset"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/tensor"
 )
 
-// batchScratch bundles the per-batch buffers of one training or evaluation
-// loop: the stacked input, dense targets, the loss gradient (all recycled
-// through a private arena, reset once per batch) and the label slice. The
-// buffers live only between two Resets, exactly one batch — the network's
-// own arena is NOT usable for them because the network resets it at the top
-// of Forward, while the input must be filled before Forward runs.
-type batchScratch struct {
-	arena  *tensor.Arena
-	labels []int
-	shape  []int
-}
-
-// batchScratchPool recycles batch scratch across TrainLocal/EvalLoss calls
-// (i.e. across clients and rounds), so the steady state of a federated run
-// allocates no per-batch buffers at all.
-var batchScratchPool = sync.Pool{
-	New: func() any { return &batchScratch{arena: tensor.NewArena()} },
-}
-
-// nextBatch recycles the previous batch's buffers and fills them with
-// samples [lo, hi). For multi-label data it returns (x, y, nil), otherwise
-// (x, nil, labels).
-func (bs *batchScratch) nextBatch(ds *dataset.Dataset, lo, hi int) (x, y *tensor.Tensor, labels []int) {
-	bs.arena.Reset()
-	n := hi - lo
-	bs.shape = append(bs.shape[:0], n)
-	bs.shape = append(bs.shape, ds.Samples[lo].X.Shape()...)
-	x = bs.arena.GetUninit(bs.shape...)
-	if ds.Samples[lo].Multi != nil {
-		y = bs.arena.GetUninit(n, ds.NumClasses)
-		ds.BatchMultiInto(x, y, lo, hi)
-		return x, y, nil
-	}
-	if cap(bs.labels) < n {
-		bs.labels = make([]int, n)
-	}
-	labels = bs.labels[:n]
-	ds.BatchInto(x, labels, lo, hi)
-	return x, nil, labels
-}
-
-// evalBatch runs one loss evaluation on samples [lo, hi). When the loss
-// supports LossInto the gradient lands in a recycled arena buffer; the
-// caller may pass it to net.Backward before the next nextBatch call.
-func (bs *batchScratch) evalBatch(net *nn.Network, loss nn.Loss, ds *dataset.Dataset,
+// evalBatch runs one loss evaluation on samples [lo, hi), batching through
+// the pooled dataset.BatchScratch (shared with the eval-side harnesses in
+// internal/metrics). When the loss supports LossInto the gradient lands in a
+// recycled scratch buffer; the caller may pass it to net.Backward before the
+// next batch.
+func evalBatch(bs *dataset.BatchScratch, net *nn.Network, loss nn.Loss, ds *dataset.Dataset,
 	lo, hi int, train bool) (float64, *tensor.Tensor) {
-	x, y, labels := bs.nextBatch(ds, lo, hi)
+	x, y, labels := bs.Next(ds, lo, hi)
 	var target nn.Target
 	if y != nil {
 		target = nn.DenseTarget(y)
@@ -64,7 +23,7 @@ func (bs *batchScratch) evalBatch(net *nn.Network, loss nn.Loss, ds *dataset.Dat
 	}
 	out := net.Forward(x, train)
 	if li, ok := loss.(nn.LossInto); ok {
-		grad := bs.arena.GetUninit(out.Shape()...)
+		grad := bs.Alloc(out.Shape()...)
 		return li.EvalInto(grad, out, target), grad
 	}
 	return loss.Eval(out, target)
@@ -76,12 +35,12 @@ func EvalLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) flo
 	if ds.Len() == 0 {
 		return 0
 	}
-	bs := batchScratchPool.Get().(*batchScratch)
-	defer batchScratchPool.Put(bs)
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	var total float64
 	for lo := 0; lo < ds.Len(); lo += batch {
 		hi := min(lo+batch, ds.Len())
-		l, _ := bs.evalBatch(net, loss, ds, lo, hi, false)
+		l, _ := evalBatch(bs, net, loss, ds, lo, hi, false)
 		total += l * float64(hi-lo)
 	}
 	return total / float64(ds.Len())
@@ -118,8 +77,8 @@ func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
 		Samples:    make([]dataset.Sample, ds.Len()),
 		NumClasses: ds.NumClasses,
 	}
-	bs := batchScratchPool.Get().(*batchScratch)
-	defer batchScratchPool.Put(bs)
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	for e := 0; e < cfg.LocalEpochs; e++ {
 		rng.ShuffleInts(order)
 		for i, j := range order {
@@ -127,7 +86,7 @@ func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
 		}
 		for lo := 0; lo < shuffled.Len(); lo += cfg.BatchSize {
 			hi := min(lo+cfg.BatchSize, shuffled.Len())
-			l, gradT := bs.evalBatch(net, loss, shuffled, lo, hi, true)
+			l, gradT := evalBatch(bs, net, loss, shuffled, lo, hi, true)
 			net.Backward(gradT)
 			if stepHook != nil {
 				stepHook(params)

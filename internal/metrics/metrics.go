@@ -14,18 +14,28 @@ import (
 )
 
 // Accuracy returns the single-label classification accuracy of net on ds,
-// evaluated in inference mode with the given batch size.
+// evaluated in inference mode with the given batch size. Batches recycle
+// through the pooled dataset.BatchScratch, so sweeps over many devices or
+// degrees allocate no per-batch buffers.
 func Accuracy(net *nn.Network, ds *dataset.Dataset, batch int) float64 {
 	if ds.Len() == 0 {
 		return 0
 	}
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	correct := 0
 	for lo := 0; lo < ds.Len(); lo += batch {
 		hi := lo + batch
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		x, labels := ds.Batch(lo, hi)
+		x, _, labels := bs.Next(ds, lo, hi)
+		if labels == nil {
+			// Multi-label data has no single label to match (Sample.Label is
+			// -1); every prediction counts as wrong, matching the previous
+			// ds.Batch behaviour. Use MeanAveragePrecision for these sets.
+			continue
+		}
 		pred := net.Forward(x, false).ArgMaxRows()
 		for i, p := range pred {
 			if p == labels[i] {
@@ -42,6 +52,8 @@ func MeanLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) flo
 	if ds.Len() == 0 {
 		return 0
 	}
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	var total float64
 	var count int
 	for lo := 0; lo < ds.Len(); lo += batch {
@@ -50,11 +62,10 @@ func MeanLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) flo
 			hi = ds.Len()
 		}
 		var l float64
-		if ds.Samples[lo].Multi != nil {
-			x, y := ds.BatchMulti(lo, hi)
+		x, y, labels := bs.Next(ds, lo, hi)
+		if y != nil {
 			l, _ = loss.Eval(net.Forward(x, false), nn.DenseTarget(y))
 		} else {
-			x, labels := ds.Batch(lo, hi)
 			l, _ = loss.Eval(net.Forward(x, false), nn.ClassTarget(labels))
 		}
 		total += l * float64(hi-lo)
@@ -206,12 +217,14 @@ func MultiLabelScores(net *nn.Network, ds *dataset.Dataset, batch int) (scores, 
 	n := ds.Len()
 	scores = tensor.New(n, ds.NumClasses)
 	labels = tensor.New(n, ds.NumClasses)
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	for lo := 0; lo < n; lo += batch {
 		hi := lo + batch
 		if hi > n {
 			hi = n
 		}
-		x, y := ds.BatchMulti(lo, hi)
+		x, y, _ := bs.Next(ds, lo, hi)
 		out := net.Forward(x, false)
 		copy(scores.Data()[lo*ds.NumClasses:hi*ds.NumClasses], out.Data())
 		copy(labels.Data()[lo*ds.NumClasses:hi*ds.NumClasses], y.Data())

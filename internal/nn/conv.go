@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"heteroswitch/internal/frand"
+	"heteroswitch/internal/parallel"
 	"heteroswitch/internal/tensor"
 )
 
@@ -15,8 +16,18 @@ import (
 //
 // The implementation lowers each sample and group to an im2col matrix and a
 // single matmul, caching the column matrices for the backward pass.
+//
+// Under an intra-op budget (SetIntraOp), the sample×group loops run in
+// parallel: forward iterations and the input-gradient iterations write
+// disjoint slices, and the weight/bias gradients are parallelized over
+// output-channel rows with the per-sample accumulation kept in ascending
+// sample order — so results are bit-identical to the serial layer at every
+// budget. A single-iteration layer (N=1, Groups=1) passes the budget down to
+// the row-parallel matmul kernels instead, so large single-sample convs
+// still use the cores.
 type Conv2D struct {
 	arenaScratch
+	intraOp
 	InC, OutC   int
 	KH, KW      int
 	Stride, Pad int
@@ -25,9 +36,13 @@ type Conv2D struct {
 	inH, inW    int // geometry captured at Forward time
 	dims        tensor.ConvDims
 	cols        []float32 // cached im2col matrices: [N][G][rows*cols]
-	dcol        []float32 // backward scratch: one group's column gradient
+	dcol        []float32 // backward scratch: one [rows*cols] column gradient per parallel chunk
 	batch       int
 	x           *tensor.Tensor
+	// persistent parallel.Runner values (avoid per-batch allocation)
+	fwdTask convFwdTask
+	rowTask convRowTask
+	dxTask  convDxTask
 }
 
 // NewConv2D builds a grouped convolution with He-normal init. It panics if
@@ -80,32 +95,75 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
 
 	out := l.allocUninit(n, l.OutC, d.OutH, d.OutW)
-	xd, od, wd, bd := x.Data(), out.Data(), l.W.W.Data(), l.B.W.Data()
-	imgStride := l.InC * h * w
-	outStride := l.OutC * d.OutH * d.OutW
+	xd, od := x.Data(), out.Data()
 	fanIn := gcIn * l.KH * l.KW
-	for i := 0; i < n; i++ {
-		for gi := 0; gi < g; gi++ {
-			img := xd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
-			col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
-			tensor.Im2Col(col, img, d)
-			// y[gcOut, cols] = Wg[gcOut, fanIn] @ col[fanIn, cols]
-			wg := wd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
-			y := od[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
-			tensor.MatMulSlices(y, wg, col, gcOut, fanIn, cols)
-			for oc := 0; oc < gcOut; oc++ {
-				b := bd[gi*gcOut+oc]
-				row := y[oc*cols : (oc+1)*cols]
-				for j := range row {
-					row[j] += b
-				}
-			}
-		}
+	iters := n * g
+	if iters == 1 {
+		// One sample, one group: no iteration-level parallelism to mine, so
+		// hand the whole budget to the row-parallel matmul instead.
+		l.forwardIter(0, l.budget(), xd, od)
+		return out
 	}
+	l.fwdTask = convFwdTask{l: l, xd: xd, od: od}
+	parallel.Run(l.budget(), iters, parallel.GrainFor(gcOut*fanIn*cols), &l.fwdTask)
 	return out
 }
 
-// Backward implements Layer.
+// forwardIter runs one sample×group forward iteration: im2col, the group
+// matmul (row-parallel under par), and the bias add. Iterations write
+// disjoint col and output slices, so any subset may run concurrently.
+func (l *Conv2D) forwardIter(it, par int, xd, od []float32) {
+	d := l.dims
+	rows, cols := d.ColRows(), d.ColCols()
+	g := l.Groups
+	gcIn := l.InC / g
+	gcOut := l.OutC / g
+	fanIn := gcIn * l.KH * l.KW
+	h, w := l.inH, l.inW
+	imgStride := l.InC * h * w
+	outStride := l.OutC * d.OutH * d.OutW
+	wd, bd := l.W.W.Data(), l.B.W.Data()
+	i, gi := it/g, it%g
+
+	img := xd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
+	col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
+	tensor.Im2Col(col, img, d)
+	// y[gcOut, cols] = Wg[gcOut, fanIn] @ col[fanIn, cols]
+	wg := wd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
+	y := od[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
+	tensor.MatMulSlicesP(par, y, wg, col, gcOut, fanIn, cols)
+	for oc := 0; oc < gcOut; oc++ {
+		b := bd[gi*gcOut+oc]
+		row := y[oc*cols : (oc+1)*cols]
+		for j := range row {
+			row[j] += b
+		}
+	}
+}
+
+// convFwdTask is the parallel.Runner for the forward sample×group loop.
+type convFwdTask struct {
+	l      *Conv2D
+	xd, od []float32
+}
+
+// Run implements parallel.Runner over a contiguous iteration range.
+func (t *convFwdTask) Run(_, lo, hi int) {
+	for it := lo; it < hi; it++ {
+		t.l.forwardIter(it, 1, t.xd, t.od)
+	}
+}
+
+// Backward implements Layer. It runs in two phases so each can parallelize
+// without changing any accumulation order:
+//
+//  1. Weight and bias gradients, parallel over output-channel rows. Each row
+//     of dW (and its db entry) is owned by one goroutine that folds the
+//     samples in ascending order — the same per-target order as the serial
+//     i-outer loop, so results are bit-identical.
+//  2. Input gradients, parallel over sample×group iterations. Iterations
+//     write disjoint dx slices; each parallel chunk owns a private dcol
+//     scratch.
 func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	d := l.dims
 	rows, cols := d.ColRows(), d.ColCols()
@@ -118,40 +176,118 @@ func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 	// Col2Im accumulates, so dx must start zeroed.
 	dx := l.alloc(n, l.InC, h, w)
-	gd, wd, dwd, dbd, dxd := grad.Data(), l.W.W.Data(), l.W.Grad.Data(), l.B.Grad.Data(), dx.Data()
-	imgStride := l.InC * h * w
-	outStride := l.OutC * d.OutH * d.OutW
+	gd, dxd := grad.Data(), dx.Data()
 
-	if cap(l.dcol) < rows*cols {
-		l.dcol = make([]float32, rows*cols)
+	// Phase 1: dW and db, parallel over the OutC output-channel rows. One
+	// row costs n·cols·fanIn multiply-adds across all samples.
+	l.rowTask = convRowTask{l: l, gd: gd}
+	parallel.Run(l.budget(), l.OutC, parallel.GrainFor(n*cols*fanIn), &l.rowTask)
+
+	// Phase 2: dx, parallel over sample×group iterations with one dcol
+	// scratch per chunk (sized to the partition Run will actually use).
+	iters := n * g
+	perIter := gcOut * fanIn * cols
+	chunks := parallel.Chunks(l.budget(), iters, parallel.GrainFor(perIter))
+	if cap(l.dcol) < chunks*rows*cols {
+		l.dcol = make([]float32, chunks*rows*cols)
 	}
-	dcol := l.dcol[:rows*cols]
-	for i := 0; i < n; i++ {
-		for gi := 0; gi < g; gi++ {
+	l.dcol = l.dcol[:chunks*rows*cols]
+	if iters == 1 {
+		// Single iteration: hand the budget to the row-parallel kernel.
+		l.backwardIter(0, l.budget(), l.dcol[:rows*cols], gd, dxd)
+		return dx
+	}
+	l.dxTask = convDxTask{l: l, gd: gd, dxd: dxd}
+	parallel.Run(l.budget(), iters, parallel.GrainFor(perIter), &l.dxTask)
+	return dx
+}
+
+// backwardRows accumulates dW rows [lo, hi) (global output-channel indices
+// across groups) and their db entries, folding samples in ascending order.
+func (l *Conv2D) backwardRows(gd []float32, lo, hi int) {
+	d := l.dims
+	rows, cols := d.ColRows(), d.ColCols()
+	g := l.Groups
+	gcIn := l.InC / g
+	gcOut := l.OutC / g
+	fanIn := gcIn * l.KH * l.KW
+	n := l.batch
+	outStride := l.OutC * d.OutH * d.OutW
+	dwd, dbd := l.W.Grad.Data(), l.B.Grad.Data()
+
+	for oc := lo; oc < hi; {
+		gi := oc / gcOut
+		segHi := min(hi, (gi+1)*gcOut)
+		o0 := oc - gi*gcOut // first row within the group
+		segRows := segHi - oc
+		dwg := dwd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
+		for i := 0; i < n; i++ {
 			dy := gd[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
 			col := l.cols[(i*g+gi)*rows*cols : (i*g+gi+1)*rows*cols]
-			// dWg += dy @ colᵀ, accumulated in place (no temporary + add pass).
-			dwg := dwd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
-			tensor.MatMulTransBAccSlices(dwg, dy, col, gcOut, cols, fanIn)
-			// db += Σ spatial dy
-			for oc := 0; oc < gcOut; oc++ {
+			// dWg rows [o0, o0+segRows) += dy rows @ colᵀ, in place.
+			tensor.MatMulTransBAccSlices(dwg[o0*fanIn:(o0+segRows)*fanIn],
+				dy[o0*cols:(o0+segRows)*cols], col, segRows, cols, fanIn)
+			// db += Σ spatial dy for the same rows
+			for r := o0; r < o0+segRows; r++ {
 				var s float32
-				row := dy[oc*cols : (oc+1)*cols]
+				row := dy[r*cols : (r+1)*cols]
 				for _, v := range row {
 					s += v
 				}
-				dbd[gi*gcOut+oc] += s
+				dbd[gi*gcOut+r] += s
 			}
-			// dcol = Wgᵀ @ dy, then scatter back to dx. The transposed-A
-			// kernel reads Wg in place instead of materializing Wgᵀ.
-			wg := wd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
-			clear(dcol)
-			tensor.MatMulTransAAccSlices(dcol, wg, dy, gcOut, fanIn, cols)
-			dimg := dxd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
-			tensor.Col2Im(dimg, dcol, d)
 		}
+		oc = segHi
 	}
-	return dx
+}
+
+// backwardIter computes one sample×group input-gradient iteration:
+// dcol = Wgᵀ @ dy (row-parallel under par), scattered back to dx via Col2Im.
+// The transposed-A kernel reads Wg in place instead of materializing Wgᵀ.
+func (l *Conv2D) backwardIter(it, par int, dcol, gd, dxd []float32) {
+	d := l.dims
+	cols := d.ColCols()
+	g := l.Groups
+	gcIn := l.InC / g
+	gcOut := l.OutC / g
+	fanIn := gcIn * l.KH * l.KW
+	h, w := l.inH, l.inW
+	imgStride := l.InC * h * w
+	outStride := l.OutC * d.OutH * d.OutW
+	wd := l.W.W.Data()
+	i, gi := it/g, it%g
+
+	dy := gd[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
+	wg := wd[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
+	clear(dcol)
+	tensor.MatMulTransAAccSlicesP(par, dcol, wg, dy, gcOut, fanIn, cols)
+	dimg := dxd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
+	tensor.Col2Im(dimg, dcol, d)
+}
+
+// convRowTask is the parallel.Runner for the weight/bias gradient rows.
+type convRowTask struct {
+	l  *Conv2D
+	gd []float32
+}
+
+// Run implements parallel.Runner over a contiguous output-channel row range.
+func (t *convRowTask) Run(_, lo, hi int) { t.l.backwardRows(t.gd, lo, hi) }
+
+// convDxTask is the parallel.Runner for the input-gradient iterations; each
+// chunk owns the dcol scratch slice matching its chunk index.
+type convDxTask struct {
+	l       *Conv2D
+	gd, dxd []float32
+}
+
+// Run implements parallel.Runner over a contiguous iteration range.
+func (t *convDxTask) Run(chunk, lo, hi int) {
+	rc := t.l.dims.ColRows() * t.l.dims.ColCols()
+	dcol := t.l.dcol[chunk*rc : (chunk+1)*rc]
+	for it := lo; it < hi; it++ {
+		t.l.backwardIter(it, 1, dcol, t.gd, t.dxd)
+	}
 }
 
 // Params implements Layer.

@@ -11,6 +11,7 @@ import (
 // Dense is a fully connected layer: y = x @ W + b for x of shape [N, in].
 type Dense struct {
 	arenaScratch
+	intraOp
 	In, Out int
 	W, B    *Param
 	x       *tensor.Tensor // cached input
@@ -34,7 +35,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	d.x = x
 	y := d.allocUninit(x.Dim(0), d.Out)
-	tensor.MatMulInto(y, x, d.W.W)
+	tensor.MatMulIntoP(d.budget(), y, x, d.W.W)
 	n, out := y.Dim(0), d.Out
 	yd, bd := y.Data(), d.B.W.Data()
 	for i := 0; i < n; i++ {
@@ -48,7 +49,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward accumulates dW = xᵀ @ dy, db = Σ dy, and returns dx = dy @ Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	tensor.MatMulTransAAccInto(d.W.Grad, d.x, grad) // Grad += xᵀ @ dy, no temporary
+	tensor.MatMulTransAAccIntoP(d.budget(), d.W.Grad, d.x, grad) // Grad += xᵀ @ dy, no temporary
 	n, out := grad.Dim(0), d.Out
 	gd, bg := grad.Data(), d.B.Grad.Data()
 	for i := 0; i < n; i++ {
@@ -58,7 +59,7 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	dx := d.allocUninit(n, d.In)
-	tensor.MatMulTransBInto(dx, grad, d.W.W)
+	tensor.MatMulTransBIntoP(d.budget(), dx, grad, d.W.W)
 	return dx
 }
 

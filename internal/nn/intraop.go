@@ -1,0 +1,34 @@
+package nn
+
+// IntraOpUser is the capability a Layer implements to receive an intra-op
+// kernel parallelism budget: the maximum number of CPU cores its tensor
+// kernels may occupy at once. Network.SetIntraOp propagates one budget
+// through the whole layer tree, exactly like SetArena propagates the arena.
+//
+// The budget composes with coarser-grained parallelism by division, not by
+// contention: a host that already runs W network replicas concurrently (the
+// fl server's client workers) grants each replica GOMAXPROCS/W, so the
+// process as a whole never oversubscribes the machine. A budget of 1 — the
+// default for every freshly built network — byte-for-byte selects the serial
+// kernels, and any budget produces bit-identical results (the parallel
+// kernels only split disjoint output rows; see internal/parallel).
+type IntraOpUser interface {
+	SetIntraOp(budget int)
+}
+
+// intraOp is embedded by compute-heavy layers (Dense, Conv2D) to receive the
+// budget; composite layers forward SetIntraOp to their children instead.
+type intraOp struct {
+	par int
+}
+
+// SetIntraOp implements IntraOpUser.
+func (o *intraOp) SetIntraOp(budget int) { o.par = budget }
+
+// budget returns the effective kernel budget (at least 1).
+func (o *intraOp) budget() int {
+	if o.par < 1 {
+		return 1
+	}
+	return o.par
+}

@@ -1,6 +1,11 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"heteroswitch/internal/parallel"
+)
 
 // matmul kernel block size, chosen to keep a block of B rows of both
 // operands inside L1 cache for float32 data.
@@ -12,6 +17,14 @@ const mmBlock = 64
 // register tiling (4-wide j unrolling) only changes WHICH targets are in
 // flight at once, never the order of adds into one target, so results are
 // bit-identical to the straightforward loops and independent of tiling.
+//
+// The *P variants additionally split the output rows (the M dimension, or
+// the transposed-A result's row dimension) into parallel.Chunks-fixed
+// contiguous blocks, one goroutine per block. Every output element is still
+// computed entirely by one goroutine running the serial inner loops, so the
+// per-target operation order — and therefore the result — is bit-identical
+// to the serial kernels at every budget. Budget 1 (or a matrix too small
+// for its grain) takes the serial code path byte-for-byte.
 
 // MatMul returns a @ b for 2-D tensors a[m,k] and b[k,n] as a new [m,n]
 // tensor.
@@ -226,6 +239,13 @@ func MatMulTransAAccInto(out, a, b *Tensor) {
 // (dcol += Wᵀ @ dy) uses it directly, instead of materializing the weight
 // transpose per sample.
 func MatMulTransAAccSlices(out, a, b []float32, k, m, n int) {
+	matMulTransAAccRange(out, a, b, k, m, n, 0, m)
+}
+
+// matMulTransAAccRange is MatMulTransAAccSlices restricted to output rows
+// [i0, i1) — the row-parallel building block. out is still indexed with full
+// row stride n from row 0.
+func matMulTransAAccRange(out, a, b []float32, k, m, n, i0, i1 int) {
 	// out[i,j] += Σ_x a[x,i]·b[x,j], with x ascending per target and four
 	// output columns held in registers across each x block. Blocking over x
 	// keeps the strided a column (stride m) and the touched b rows resident
@@ -233,7 +253,7 @@ func MatMulTransAAccSlices(out, a, b []float32, k, m, n int) {
 	// ascending across blocks, so results match the scalar loop exactly.
 	for x0 := 0; x0 < k; x0 += mmBlock {
 		xMax := min(x0+mmBlock, k)
-		for i := 0; i < m; i++ {
+		for i := i0; i < i1; i++ {
 			orow := out[i*n : i*n+n]
 			j := 0
 			for ; j+4 <= n; j += 4 {
@@ -266,4 +286,132 @@ func MatMulTransAAccSlices(out, a, b []float32, k, m, n int) {
 			}
 		}
 	}
+}
+
+// Parallel kernel entry points ------------------------------------------------
+//
+// Each *P function is the corresponding serial kernel parallelized over
+// output rows under an intra-op budget: par is the maximum number of chunks
+// in flight (1 ⇒ the serial kernel, byte for byte). Work-based grains keep
+// small matmuls serial, so callers can pass their budget unconditionally.
+
+// mmGrain converts one output row's work (k·n multiply-adds) into the
+// minimum rows per parallel chunk.
+func mmGrain(k, n int) int { return parallel.GrainFor(k * n) }
+
+// mmTask is the pooled parallel.Runner behind the *P kernels; recycling it
+// keeps the parallel dispatch path free of steady-state allocation.
+type mmTask struct {
+	kind      mmKind
+	out, a, b []float32
+	k, n, m   int
+	acc       bool
+}
+
+type mmKind uint8
+
+const (
+	mmAB     mmKind = iota // out[rows] = a[rows] @ b
+	mmTransB               // out[rows] (+)= a[rows] @ bᵀ
+	mmTransA               // out[rows] += aᵀ @ b, rows of the result
+)
+
+var mmTaskPool = sync.Pool{New: func() any { return new(mmTask) }}
+
+// Run implements parallel.Runner on a row range of the output.
+func (t *mmTask) Run(_, lo, hi int) {
+	switch t.kind {
+	case mmAB:
+		o := t.out[lo*t.n : hi*t.n]
+		clear(o)
+		matmulAcc(o, t.a[lo*t.k:hi*t.k], t.b, hi-lo, t.k, t.n)
+	case mmTransB:
+		matMulTransB(t.out[lo*t.n:hi*t.n], t.a[lo*t.k:hi*t.k], t.b, hi-lo, t.k, t.n, t.acc)
+	case mmTransA:
+		matMulTransAAccRange(t.out, t.a, t.b, t.k, t.m, t.n, lo, hi)
+	}
+}
+
+func runMMTask(par, rows int, fill mmTask) {
+	t := mmTaskPool.Get().(*mmTask)
+	*t = fill
+	parallel.Run(par, rows, mmGrain(t.k, t.n), t)
+	*t = mmTask{} // drop slice references before pooling
+	mmTaskPool.Put(t)
+}
+
+// MatMulSlicesP is MatMulSlices with output rows computed in parallel under
+// the given intra-op budget.
+func MatMulSlicesP(par int, out, a, b []float32, m, k, n int) {
+	if par <= 1 {
+		MatMulSlices(out, a, b, m, k, n)
+		return
+	}
+	runMMTask(par, m, mmTask{kind: mmAB, out: out, a: a, b: b, k: k, n: n})
+}
+
+// MatMulIntoP is MatMulInto with output rows computed in parallel under the
+// given intra-op budget.
+func MatMulIntoP(par int, out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulIntoP out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	MatMulSlicesP(par, out.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransBIntoP is MatMulTransBInto with output rows computed in
+// parallel under the given intra-op budget.
+func MatMulTransBIntoP(par int, out, a, b *Tensor) {
+	m, n := transBDims(a, b)
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBIntoP out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	k := a.shape[1]
+	if par <= 1 {
+		matMulTransB(out.data, a.data, b.data, m, k, n, false)
+		return
+	}
+	runMMTask(par, m, mmTask{kind: mmTransB, out: out.data, a: a.data, b: b.data, k: k, n: n})
+}
+
+// MatMulTransBAccSlicesP is MatMulTransBAccSlices with output rows computed
+// in parallel under the given intra-op budget.
+func MatMulTransBAccSlicesP(par int, out, a, b []float32, m, k, n int) {
+	if par <= 1 {
+		matMulTransB(out, a, b, m, k, n, true)
+		return
+	}
+	runMMTask(par, m, mmTask{kind: mmTransB, out: out, a: a, b: b, k: k, n: n, acc: true})
+}
+
+// MatMulTransAAccIntoP is MatMulTransAAccInto with the result's rows
+// computed in parallel under the given intra-op budget.
+func MatMulTransAAccIntoP(par int, out, a, b *Tensor) {
+	if par <= 1 {
+		MatMulTransAAccInto(out, a, b)
+		return
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransAAccIntoP inner dims %d != %d", k, k2))
+	}
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAAccIntoP out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	MatMulTransAAccSlicesP(par, out.data, a.data, b.data, k, m, n)
+}
+
+// MatMulTransAAccSlicesP is MatMulTransAAccSlices with the result's rows
+// computed in parallel under the given intra-op budget. The per-row work is
+// k·n multiply-adds (a full strided column of a), the same grain unit as the
+// other kernels.
+func MatMulTransAAccSlicesP(par int, out, a, b []float32, k, m, n int) {
+	if par <= 1 {
+		matMulTransAAccRange(out, a, b, k, m, n, 0, m)
+		return
+	}
+	runMMTask(par, m, mmTask{kind: mmTransA, out: out, a: a, b: b, k: k, m: m, n: n})
 }
