@@ -19,6 +19,7 @@ import (
 	"heteroswitch/internal/isp"
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/scene"
+	"heteroswitch/internal/simclock"
 	"heteroswitch/internal/tensor"
 )
 
@@ -118,6 +119,51 @@ func BenchmarkServerRound(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkAsyncServerRound measures one asynchronous aggregation window
+// (admit + Buffer staleness-discounted folds + finalize) under a straggler
+// latency distribution with a depth-2 pipeline. The acceptance target
+// mirrors the streaming path's: steady-state weight allocations bounded by
+// the version store's recycling, not by K.
+func BenchmarkAsyncServerRound(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("K=%d/depth=2", k), func(b *testing.B) {
+			r := frand.New(99)
+			clients := make([]*fl.Client, 2*k)
+			for i := range clients {
+				ds := &dataset.Dataset{NumClasses: 2}
+				for j := 0; j < 2; j++ {
+					x := tensor.Randn(r, 0.5, 1, 8, 8)
+					ds.Samples = append(ds.Samples, dataset.Sample{X: x, Label: j % 2})
+				}
+				clients[i] = fl.NewClient(i, 0, ds, 99)
+			}
+			builder := func() *nn.Network {
+				br := frand.New(7)
+				return nn.NewNetwork(nn.NewFlatten(), nn.NewDense(br, 64, 128), nn.NewReLU(), nn.NewDense(br, 128, 10))
+			}
+			cfg := fl.Config{
+				Rounds: 1, ClientsPerRound: k, BatchSize: 2, LocalEpochs: 1,
+				LR: 0.1, Seed: 1, Workers: 1,
+			}
+			srv, err := fl.NewAsyncServer(cfg, builder, nn.SoftmaxCrossEntropy{}, fl.FedAvg{}, clients,
+				fl.AsyncConfig{
+					Staleness:   fl.PolynomialStaleness{Alpha: 0.5},
+					Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.15, TailFactor: 8, Seed: 3},
+					Concurrency: 2 * k,
+					Buffer:      k,
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.RunRound()
+			}
+		})
 	}
 }
 

@@ -6,9 +6,11 @@
 //
 //	flsim -method heteroswitch -model mobilenetv3-tiny -rounds 100 -clients 100 -k 20
 //	flsim -method fedavg -model simplecnn -rounds 50
+//	flsim -method fedavg -async -staleness-alpha 0.5 -latency-model straggler:0.5,2,0.15,8
 //
 // Methods: fedavg, fedprox, qfedavg, scaffold, heteroswitch, isp-transform,
-// isp-swad.
+// isp-swad. -async switches streaming-capable methods to staleness-aware
+// asynchronous aggregation on a deterministic virtual-time simulation.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"heteroswitch/internal/metrics"
 	"heteroswitch/internal/models"
 	"heteroswitch/internal/nn"
+	"heteroswitch/internal/simclock"
 )
 
 func strategyFor(name string, totalClients int) (fl.Strategy, error) {
@@ -62,6 +65,11 @@ func main() {
 		intraop  = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier  = flag.Bool("barrier", false, "force legacy barrier aggregation (materialize all K snapshots)")
 		logEvery = flag.Int("log-every", 10, "print loss every N rounds")
+
+		async      = flag.Bool("async", false, "asynchronous staleness-aware aggregation on a deterministic virtual-time simulation (no round barrier)")
+		alpha      = flag.Float64("staleness-alpha", 0.5, "polynomial staleness discount 1/(1+s)^alpha for async folds (0 = no discount)")
+		latency    = flag.String("latency-model", "straggler:0.5,2,0.15,8", "virtual client latency: zero, const:D, uniform:LO,HI, straggler:LO,HI,P,FACTOR")
+		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of K (1 = no overlap, so no staleness)")
 	)
 	flag.Parse()
 
@@ -101,19 +109,44 @@ func main() {
 	if cfg.ClientsPerRound > len(pop) {
 		cfg.ClientsPerRound = len(pop)
 	}
-	srv, err := fl.NewServer(cfg, builder, nn.SoftmaxCrossEntropy{}, strat, pop)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("running %s / %s: N=%d K=%d B=%d E=%d T=%d lr=%g\n",
-		strat.Name(), *model, len(pop), cfg.ClientsPerRound, *batch, *epochs, *rounds, *lr)
-	srv.Run(func(s fl.RoundStats) {
-		if (*logEvery > 0 && (s.Round+1)%*logEvery == 0) || s.Round == *rounds-1 {
-			fmt.Printf("round %4d  train-loss %.4f  init-loss %.4f\n", s.Round+1, s.MeanLoss, s.MeanInit)
+	var net *nn.Network
+	if *async {
+		lat, err := simclock.ParseModel(*latency, *seed)
+		if err != nil {
+			fatal(err)
 		}
-	})
-
-	net := srv.GlobalNet()
+		srv, err := fl.NewAsyncServer(cfg, builder, nn.SoftmaxCrossEntropy{}, strat, pop, fl.AsyncConfig{
+			Staleness:   fl.PolynomialStaleness{Alpha: *alpha},
+			Latency:     lat,
+			Concurrency: *asyncDepth * cfg.ClientsPerRound,
+			Buffer:      cfg.ClientsPerRound,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("running %s / %s ASYNC: N=%d K=%d depth=%d alpha=%g latency=%s T=%d lr=%g\n",
+			strat.Name(), *model, len(pop), cfg.ClientsPerRound, *asyncDepth, *alpha, *latency, *rounds, *lr)
+		srv.Run(func(s fl.AsyncRoundStats) {
+			if (*logEvery > 0 && (s.Round+1)%*logEvery == 0) || s.Round == *rounds-1 {
+				fmt.Printf("round %4d  train-loss %.4f  init-loss %.4f  vtime %8.1f  staleness %.2f (max %d)  discount %.3f\n",
+					s.Round+1, s.MeanLoss, s.MeanInit, s.VirtualTime, s.MeanStaleness, s.MaxStaleness, s.MeanDiscount)
+			}
+		})
+		net = srv.GlobalNet()
+	} else {
+		srv, err := fl.NewServer(cfg, builder, nn.SoftmaxCrossEntropy{}, strat, pop)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("running %s / %s: N=%d K=%d B=%d E=%d T=%d lr=%g\n",
+			strat.Name(), *model, len(pop), cfg.ClientsPerRound, *batch, *epochs, *rounds, *lr)
+		srv.Run(func(s fl.RoundStats) {
+			if (*logEvery > 0 && (s.Round+1)%*logEvery == 0) || s.Round == *rounds-1 {
+				fmt.Printf("round %4d  train-loss %.4f  init-loss %.4f\n", s.Round+1, s.MeanLoss, s.MeanInit)
+			}
+		})
+		net = srv.GlobalNet()
+	}
 	acc := experiments.PerDeviceAccuracies(net, dd, 16)
 	fmt.Println("\nper-device test accuracy:")
 	var accs []float64

@@ -9,8 +9,11 @@
 //
 // Experiment ids follow DESIGN.md's per-experiment index (fig1, table2,
 // fig2, fig3, fig4, fig5, fig7, table4, table5, table6, fig8, ecg, fig9,
-// ablation-*). Scale 1.0 is the configuration recorded in EXPERIMENTS.md;
-// smaller scales run faster and preserve trends.
+// ablation-*, async-sweep). Scale 1.0 is the configuration recorded in
+// EXPERIMENTS.md; smaller scales run faster and preserve trends. -async
+// reruns the FL-driving harnesses on the asynchronous staleness-aware server
+// (deterministic virtual-time simulation); async-sweep compares the two
+// regimes under straggler latency distributions directly.
 package main
 
 import (
@@ -31,6 +34,11 @@ func main() {
 		intraop = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier = flag.Bool("barrier", false, "force legacy barrier aggregation instead of streaming")
 		list    = flag.Bool("list", false, "list available experiments")
+
+		async      = flag.Bool("async", false, "run streaming-capable harness strategies on the asynchronous staleness-aware server (virtual-time simulation)")
+		alpha      = flag.Float64("staleness-alpha", 0.5, "polynomial staleness discount 1/(1+s)^alpha for async folds (0 = no discount); also parameterizes async-sweep")
+		latency    = flag.String("latency-model", "", "virtual client latency for -async runs: zero, const:D, uniform:LO,HI, straggler:LO,HI,P,FACTOR (default zero; async-sweep overrides with its arms)")
+		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of each harness's K")
 	)
 	flag.Parse()
 
@@ -53,6 +61,12 @@ func main() {
 	}
 	opts.DisableStreaming = *barrier
 	opts.IntraOp = *intraop
+	opts.Async = experiments.AsyncOptions{
+		Enabled:        *async,
+		StalenessAlpha: *alpha,
+		LatencyModel:   *latency,
+		Depth:          *asyncDepth,
+	}
 
 	names := []string{*exp}
 	if *exp == "all" {

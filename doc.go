@@ -115,6 +115,48 @@
 // The dispatch path allocates nothing in steady state — kernels recycle
 // their parallel.Runner state, preserving the zero-allocation hot path.
 //
+// # Asynchronous aggregation & virtual time
+//
+// fl.AsyncServer removes the round barrier entirely: the server keeps a
+// configurable number of client jobs in flight, folds each completed result
+// into the streaming accumulator the moment it arrives, and applies an
+// aggregated update every Buffer folds (FedBuff-style windows). A result's
+// staleness is the number of global updates applied between its dispatch and
+// its arrival; its fold weight is discounted by a pluggable
+// fl.StalenessPolicy (PolynomialStaleness 1/(1+s)^α, ConstantStaleness) via
+// the fl.WeightedAccumulator capability — FedAvg, FedProx, and HeteroSwitch
+// implement it, and HeteroSwitch discounts the eq. 1 L_EMA inputs by the
+// same factor, so a stale client influences the switching signal exactly as
+// much as it influences the model. Barrier-only strategies (q-FedAvg,
+// SCAFFOLD) are rejected by NewAsyncServer.
+//
+// Time is simulated, never measured: internal/simclock provides a
+// virtual-time event heap (ties at one instant break by dispatch sequence)
+// and hash-seeded latency models (constant, uniform, straggler-tail with a
+// persistent slow client cohort) that are pure functions of
+// (seed, client, step). No code in the async loop or its tests calls
+// time.Now. Determinism rules:
+//
+//   - Client sampling consumes the same RNG stream, in the same order, as
+//     the synchronous server; dropout coins are spent at draw time.
+//   - New work is admitted at aggregation boundaries, so every job trains
+//     against a well-defined broadcast version; Concurrency > Buffer
+//     overlaps windows, which is the only source of staleness.
+//   - Training is evaluated lazily at completion time on one replica with
+//     the full intra-op budget; a refcounted version store retains each
+//     broadcast global until its last in-flight reader completes, then
+//     recycles the buffer into the FinalizeInto pool (the async analogue of
+//     the sync server's spare double-buffer).
+//   - Contract (asserted at tolerance 0 by tests in fl and core): zero
+//     latency + discount ≡ 1 + Concurrency == Buffer == K is bit-identical
+//     to the synchronous streaming server with Workers = 1, and any two
+//     async runs with equal seeds and latency models are bit-identical.
+//
+// Entry points: flsim -async -staleness-alpha -latency-model -async-depth,
+// heterobench -exp async-sweep (sync vs async rounds-to-accuracy and virtual
+// wall-clock under straggler distributions), and experiments.Options.Async,
+// which reroutes every harness's RunFL funnel through the async server.
+//
 // The root package exists to carry the repository-level benchmarks in
 // bench_test.go, one per table and figure of the paper's evaluation, plus
 // the aggregation-pipeline benchmarks.

@@ -48,7 +48,7 @@ func main() {
 	hetero.Transform = core.RandomGaussianFilter(0.5, 2.5)
 
 	for _, strat := range []fl.Strategy{fl.FedAvg{}, hetero} {
-		srv, err := experiments.RunFLWithLoss(strat, train, counts, cfg, builder, nn.MSE{})
+		srv, err := experiments.RunFLWithLoss(experiments.DefaultOptions(), strat, train, counts, cfg, builder, nn.MSE{})
 		if err != nil {
 			log.Fatal(err)
 		}

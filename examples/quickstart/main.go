@@ -42,7 +42,7 @@ func main() {
 
 	// 3. Train FedAvg (baseline) and HeteroSwitch (the paper's method).
 	for _, strat := range []fl.Strategy{fl.FedAvg{}, core.New()} {
-		srv, err := experiments.RunFL(strat, dd, counts, cfg, builder)
+		srv, err := experiments.RunFL(opts, strat, dd, counts, cfg, builder)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -33,7 +33,7 @@ func TestSceneToTrainingPipeline(t *testing.T) {
 		Rounds: 30, ClientsPerRound: 9, BatchSize: 10, LocalEpochs: 1,
 		LR: 0.1, Seed: 5, Workers: 4,
 	}
-	srv, err := experiments.RunFL(fl.FedAvg{}, dd, experiments.EqualCounts(9, 18), cfg,
+	srv, err := experiments.RunFL(opts, fl.FedAvg{}, dd, experiments.EqualCounts(9, 18), cfg,
 		experiments.SimpleCNNBuilder(5, dd.Classes))
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ func TestHeteroSwitchRunsOnRealWorkload(t *testing.T) {
 		LR: 0.1, Seed: 9, Workers: 4,
 	}
 	hs := core.New()
-	srv, err := experiments.RunFL(hs, dd, experiments.EqualCounts(9, 18), cfg,
+	srv, err := experiments.RunFL(opts, hs, dd, experiments.EqualCounts(9, 18), cfg,
 		experiments.SimpleCNNBuilder(9, dd.Classes))
 	if err != nil {
 		t.Fatal(err)
@@ -69,12 +69,13 @@ func TestHeteroSwitchRunsOnRealWorkload(t *testing.T) {
 	if _, has := hs.LEMA(); !has {
 		t.Fatal("L_EMA never initialized on the vision workload")
 	}
-	for _, p := range srv.Global.Params {
+	net := srv.GlobalNet()
+	for _, p := range net.Snapshot().Params {
 		if p.HasNaN() {
 			t.Fatal("HeteroSwitch diverged on the vision workload")
 		}
 	}
-	acc := metrics.Accuracy(srv.GlobalNet(), dd.AllTest(), 16)
+	acc := metrics.Accuracy(net, dd.AllTest(), 16)
 	if acc < 0.15 {
 		t.Fatalf("HeteroSwitch failed to learn: %v", acc)
 	}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"heteroswitch/internal/fl"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/simclock"
+)
+
+// HeteroSwitch's async contract: with zero latency, discount ≡ 1, and
+// Concurrency == Buffer == K, the asynchronous run must be bit-identical
+// (tolerance 0) to the synchronous streaming run — the aggregated weights
+// AND the L_EMA switching signal, since the accumulator folds the eq. 1
+// inputs with the same discount as the weights.
+func TestHeteroSwitchAsyncZeroLatencyMatchesSync(t *testing.T) {
+	cfg := fl.Config{
+		Rounds: 8, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.1, Seed: 13, Workers: 1,
+	}
+
+	hsSync := New()
+	clients, _ := toyPopulation(33)
+	sync, err := fl.NewServer(cfg, toyBuilder(), nn.SoftmaxCrossEntropy{}, hsSync, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync.Run(nil)
+
+	hsAsync := New()
+	clients, _ = toyPopulation(33)
+	async, err := fl.NewAsyncServer(cfg, toyBuilder(), nn.SoftmaxCrossEntropy{}, hsAsync, clients,
+		fl.AsyncConfig{Staleness: fl.PolynomialStaleness{Alpha: 0}, Latency: simclock.Constant{D: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async.Run(nil)
+
+	for i := range sync.Global.Params {
+		if !sync.Global.Params[i].AllClose(async.Global.Params[i], 0) {
+			t.Fatalf("param %d not bit-identical between sync and async HeteroSwitch", i)
+		}
+	}
+	ls, okS := hsSync.LEMA()
+	la, okA := hsAsync.LEMA()
+	if !okS || !okA {
+		t.Fatal("L_EMA not initialized")
+	}
+	if ls != la {
+		t.Fatalf("L_EMA diverged: sync %v, async %v", ls, la)
+	}
+}
+
+// Race coverage: the async completion loop with full switching — LocalUpdate
+// reads L_EMA while window finalization writes it, and the intra-op budget
+// runs the lazily evaluated training through the parallel kernels. Run with
+// -race in CI.
+func TestHeteroSwitchAsyncStragglerRace(t *testing.T) {
+	clients, _ := toyPopulation(47)
+	cfg := fl.Config{
+		Rounds: 6, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.1, Seed: 29, Workers: 1, IntraOp: 4, ClientDropout: 0.2,
+	}
+	hs := New()
+	srv, err := fl.NewAsyncServer(cfg, toyBuilder(), nn.SoftmaxCrossEntropy{}, hs, clients,
+		fl.AsyncConfig{
+			Staleness:   fl.PolynomialStaleness{Alpha: 0.5},
+			Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.3, TailFactor: 8, Seed: 19},
+			Concurrency: 8,
+			Buffer:      4,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Run(nil)
+	if lema, ok := hs.LEMA(); !ok || lema != lema {
+		t.Fatalf("L_EMA bad after async run: %v (%v)", lema, ok)
+	}
+	for _, p := range srv.Global.Params {
+		if p.HasNaN() {
+			t.Fatal("NaN weights after async HeteroSwitch run")
+		}
+	}
+}
+
+// Staleness discounts must reach the L_EMA inputs: a window of stale results
+// still yields a finite, sane switching signal (discounted loss sum divided
+// by discounted sample sum — not mixed scales).
+func TestHeteroSwitchAsyncDiscountedLEMAFinite(t *testing.T) {
+	clients, _ := toyPopulation(61)
+	cfg := fl.Config{
+		Rounds: 6, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.1, Seed: 7, Workers: 1,
+	}
+	hs := New()
+	srv, err := fl.NewAsyncServer(cfg, toyBuilder(), nn.SoftmaxCrossEntropy{}, hs, clients,
+		fl.AsyncConfig{
+			Staleness:   fl.PolynomialStaleness{Alpha: 2},
+			Latency:     simclock.Uniform{Lo: 0.5, Hi: 4, Seed: 23},
+			Concurrency: 12,
+			Buffer:      4,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawStale := false
+	srv.Run(func(s fl.AsyncRoundStats) {
+		if s.MaxStaleness > 0 {
+			sawStale = true
+		}
+	})
+	if !sawStale {
+		t.Fatal("deep pipeline never produced a stale fold")
+	}
+	lema, ok := hs.LEMA()
+	if !ok || lema <= 0 || lema != lema {
+		t.Fatalf("L_EMA invalid after discounted folds: %v (%v)", lema, ok)
+	}
+}

@@ -227,8 +227,19 @@ func (a *accumulator) Reset(global nn.Weights, cfg fl.Config) {
 
 // Accumulate implements fl.Accumulator.
 func (a *accumulator) Accumulate(r fl.ClientResult) {
-	a.weights.Accumulate(r)
-	n := float64(r.NumSamples)
+	a.AccumulateWeighted(r, 1)
+}
+
+// AccumulateWeighted implements fl.WeightedAccumulator: the staleness
+// discount scales the FedAvg weight fold AND the eq. 1 loss inputs, so a
+// stale client influences the switching signal exactly as much as it
+// influences the model. scale = 1 is byte-for-byte the synchronous fold.
+func (a *accumulator) AccumulateWeighted(r fl.ClientResult, scale float64) {
+	a.weights.(fl.WeightedAccumulator).AccumulateWeighted(r, scale)
+	if scale == 0 {
+		return // contributes nothing; keeps 0·Inf off the L_EMA sums too
+	}
+	n := scale * float64(r.NumSamples)
 	a.lossSum += r.TrainLoss * n
 	a.total += n
 }
@@ -266,5 +277,6 @@ var (
 	_ fl.Strategy              = (*HeteroSwitch)(nil)
 	_ fl.StreamingAggregator   = (*HeteroSwitch)(nil)
 	_ fl.ResettableAccumulator = (*accumulator)(nil)
+	_ fl.WeightedAccumulator   = (*accumulator)(nil)
 	_ fl.IntoFinalizer         = (*accumulator)(nil)
 )

@@ -47,7 +47,7 @@ func ablationRig(opts Options) (func(name string, strat fl.Strategy) (MethodScor
 	counts := MarketShareCounts(dd, opts.scaled(60))
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)
 	return func(name string, strat fl.Strategy) (MethodScore, error) {
-		srv, err := RunFL(strat, dd, counts, cfg, builder)
+		srv, err := RunFL(opts, strat, dd, counts, cfg, builder)
 		if err != nil {
 			return MethodScore{}, err
 		}

@@ -74,14 +74,14 @@ func Fig1(opts Options) (*Fig1Result, error) {
 	homoTrain := map[int]*dataset.Dataset{s9: dataset.Concat(pool...)}
 	homoCounts := make([]int, len(dd.Profiles))
 	homoCounts[s9] = 20
-	srv, err := RunFLWithLoss(fl.FedAvg{}, homoTrain, homoCounts, cfg, builder, lossCE())
+	srv, err := RunFLWithLoss(opts, fl.FedAvg{}, homoTrain, homoCounts, cfg, builder, lossCE())
 	if err != nil {
 		return nil, err
 	}
 	homoAcc := metrics.Accuracy(srv.GlobalNet(), dd.Test[s9], 16)
 
 	// Heterogeneous: market-share mix, evaluated across all devices.
-	srv, err = RunFL(fl.FedAvg{}, dd, MarketShareCounts(dd, 20), cfg, builder)
+	srv, err = RunFL(opts, fl.FedAvg{}, dd, MarketShareCounts(dd, 20), cfg, builder)
 	if err != nil {
 		return nil, err
 	}

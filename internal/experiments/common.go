@@ -24,6 +24,7 @@ import (
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/parallel"
 	"heteroswitch/internal/scene"
+	"heteroswitch/internal/simclock"
 )
 
 // Options control workload sizing shared by all harnesses.
@@ -48,6 +49,46 @@ type Options struct {
 	// Workers); 1 = serial kernels. Results are bit-identical at every
 	// setting.
 	IntraOp int
+	// Async selects asynchronous staleness-aware aggregation for the
+	// FL-driving harnesses.
+	Async AsyncOptions
+}
+
+// AsyncOptions configure the asynchronous aggregation path (fl.AsyncServer on
+// a simclock virtual-time simulation). The zero value keeps every harness
+// synchronous.
+type AsyncOptions struct {
+	// Enabled switches RunFL/RunFLWithLoss to the asynchronous server for
+	// strategies that can stream; barrier-only strategies (q-FedAvg,
+	// SCAFFOLD) silently keep the synchronous round loop, mirroring how
+	// DisableStreaming is a per-capability knob.
+	Enabled bool
+	// StalenessAlpha is the polynomial discount exponent 1/(1+s)^α; 0
+	// disables discounting.
+	StalenessAlpha float64
+	// LatencyModel is a simclock.ParseModel spec (zero, const:D,
+	// uniform:LO,HI, straggler:LO,HI,P,FACTOR); "" means zero latency.
+	LatencyModel string
+	// Depth is the in-flight pipeline depth as a multiple of each harness's
+	// K: aggregation windows fold K results while Depth×K jobs stay in
+	// flight. 0 or 1 means no window overlap — and therefore no staleness.
+	Depth int
+}
+
+// Config resolves the options into an fl.AsyncConfig for a harness whose
+// round size is k, seeding the latency model from seed.
+func (a AsyncOptions) Config(k int, seed uint64) (fl.AsyncConfig, error) {
+	lat, err := simclock.ParseModel(a.LatencyModel, seed)
+	if err != nil {
+		return fl.AsyncConfig{}, err
+	}
+	depth := max(a.Depth, 1)
+	return fl.AsyncConfig{
+		Staleness:   fl.PolynomialStaleness{Alpha: a.StalenessAlpha},
+		Latency:     lat,
+		Concurrency: depth * k,
+		Buffer:      k,
+	}, nil
 }
 
 // DefaultOptions returns the standard configuration (Scale 1).
@@ -213,22 +254,43 @@ func EqualCounts(numDevices, n int) []int {
 	return counts
 }
 
+// Trainer is the surface the harnesses consume after federated training —
+// satisfied by both fl.Server and fl.AsyncServer, so every harness runs
+// unchanged under Options.Async.
+type Trainer interface {
+	GlobalNet() *nn.Network
+}
+
 // RunFL builds a population from dd.Train according to counts, runs the
-// strategy for cfg.Rounds, and returns the trained server.
-func RunFL(strategy fl.Strategy, dd *DeviceData, counts []int, cfg fl.Config, builder models.Builder) (*fl.Server, error) {
-	return RunFLWithLoss(strategy, dd.Train, counts, cfg, builder, nn.SoftmaxCrossEntropy{})
+// strategy for cfg.Rounds (synchronously, or on the async server when
+// opts.Async.Enabled and the strategy streams), and returns the trained
+// server.
+func RunFL(opts Options, strategy fl.Strategy, dd *DeviceData, counts []int, cfg fl.Config, builder models.Builder) (Trainer, error) {
+	return RunFLWithLoss(opts, strategy, dd.Train, counts, cfg, builder, nn.SoftmaxCrossEntropy{})
 }
 
 // RunFLWithLoss is RunFL with an explicit per-device dataset map and loss
 // (the multi-label and regression experiments use BCE / MSE).
-func RunFLWithLoss(strategy fl.Strategy, perDevice map[int]*dataset.Dataset, counts []int,
-	cfg fl.Config, builder models.Builder, loss nn.Loss) (*fl.Server, error) {
+func RunFLWithLoss(opts Options, strategy fl.Strategy, perDevice map[int]*dataset.Dataset, counts []int,
+	cfg fl.Config, builder models.Builder, loss nn.Loss) (Trainer, error) {
 	clients, err := fl.BuildPopulation(perDevice, counts, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.ClientsPerRound > len(clients) {
 		cfg.ClientsPerRound = len(clients)
+	}
+	if _, streams := strategy.(fl.StreamingAggregator); opts.Async.Enabled && streams {
+		async, err := opts.Async.Config(cfg.ClientsPerRound, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := fl.NewAsyncServer(cfg, builder, loss, strategy, clients, async)
+		if err != nil {
+			return nil, err
+		}
+		srv.Run(nil)
+		return srv, nil
 	}
 	srv, err := fl.NewServer(cfg, builder, loss, strategy, clients)
 	if err != nil {

@@ -63,7 +63,7 @@ func ECG(opts Options) (*ECGResult, error) {
 	hetero := core.New()
 	hetero.Transform = core.RandomGaussianFilter(0.5, 2.5)
 
-	evalRig := func(srv *fl.Server) (deviation, spread float64) {
+	evalRig := func(srv Trainer) (deviation, spread float64) {
 		net := srv.GlobalNet()
 		windows, truths := ecg.PairedRecordings(opts.scaled(60), frand.New(opts.Seed^0xeca))
 		var devSum, sprSum float64
@@ -94,13 +94,13 @@ func ECG(opts Options) (*ECGResult, error) {
 	}
 
 	res := &ECGResult{}
-	srv, err := RunFLWithLoss(fl.FedAvg{}, train, counts, cfg, builder, nn.MSE{})
+	srv, err := RunFLWithLoss(opts, fl.FedAvg{}, train, counts, cfg, builder, nn.MSE{})
 	if err != nil {
 		return nil, err
 	}
 	res.FedAvgDeviation, res.FedAvgSpread = evalRig(srv)
 
-	srv, err = RunFLWithLoss(hetero, train, counts, cfg, builder, nn.MSE{})
+	srv, err = RunFLWithLoss(opts, hetero, train, counts, cfg, builder, nn.MSE{})
 	if err != nil {
 		return nil, err
 	}

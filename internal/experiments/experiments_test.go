@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/fl"
 )
 
 func tinyOpts(scale float64) Options {
@@ -32,7 +33,8 @@ func TestRegistryNames(t *testing.T) {
 	names := Names()
 	want := []string{"fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig7",
 		"table4", "table5", "table6", "fig8", "ecg", "fig9",
-		"ablation-switch", "ablation-alpha", "ablation-degrees", "unseen-dg"}
+		"ablation-switch", "ablation-alpha", "ablation-degrees", "unseen-dg",
+		"async-sweep"}
 	have := map[string]bool{}
 	for _, n := range names {
 		have[n] = true
@@ -227,6 +229,75 @@ func TestTable6Structure(t *testing.T) {
 		if row.MeanAP < 0 || row.MeanAP > 100 {
 			t.Fatalf("AP out of range: %+v", row)
 		}
+	}
+}
+
+func TestAsyncSweepStructure(t *testing.T) {
+	res, err := AsyncSweep(tinyOpts(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 5 {
+		t.Fatalf("arms %d, want 5", len(res.Arms))
+	}
+	// Arms 0 (sync) and 1 (async, zero latency, no discount, depth 1) run
+	// the same aggregation math and must report identical accuracy — the
+	// equivalence contract surfacing in the characterization itself.
+	if res.Arms[0].FinalAcc != res.Arms[1].FinalAcc {
+		t.Fatalf("zero-latency async arm diverged from sync: %v vs %v",
+			res.Arms[1].FinalAcc, res.Arms[0].FinalAcc)
+	}
+	if res.Arms[1].VirtualTime != 0 || res.Arms[1].MeanStaleness != 0 {
+		t.Fatalf("zero-latency arm accrued time or staleness: %+v", res.Arms[1])
+	}
+	for _, a := range res.Arms {
+		if a.FinalAcc < 0 || a.FinalAcc > 1 {
+			t.Fatalf("accuracy out of range: %+v", a)
+		}
+	}
+	// The straggler arms must accrue virtual time; the sync arm pays at
+	// least as much per aggregation as an async window of the same size.
+	syncT, asyncT := res.Arms[0].VirtualTime, res.Arms[4].VirtualTime
+	if syncT <= 0 || asyncT <= 0 {
+		t.Fatalf("straggler arms accrued no virtual time: sync %v async %v", syncT, asyncT)
+	}
+	if !strings.Contains(res.String(), "rounds-to-target") {
+		t.Fatal("rendering broken")
+	}
+}
+
+// Options.Async must reroute streaming-capable strategies through the async
+// server inside the shared RunFL funnel (and leave barrier-only strategies
+// on the synchronous path).
+func TestRunFLHonorsAsyncOptions(t *testing.T) {
+	opts := tinyOpts(0.1)
+	opts.Async = AsyncOptions{Enabled: true, StalenessAlpha: 0.5, LatencyModel: "uniform:0.5,2"}
+	dd, err := BuildDeviceData(opts, 1, 1, dataset.ModeProcessed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{Rounds: 2, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.1, Seed: opts.Seed, Workers: 2}
+	counts := MarketShareCounts(dd, 9)
+	srv, err := RunFL(opts, fl.FedAvg{}, dd, counts, cfg, SimpleCNNBuilder(opts.Seed, dd.Classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.(*fl.AsyncServer); !ok {
+		t.Fatalf("async options ignored: got %T", srv)
+	}
+	srv, err = RunFL(opts, &fl.QFedAvg{Q: 1e-6}, dd, counts, cfg, SimpleCNNBuilder(opts.Seed, dd.Classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.(*fl.Server); !ok {
+		t.Fatalf("barrier-only strategy must stay synchronous: got %T", srv)
+	}
+	if srv.GlobalNet() == nil {
+		t.Fatal("trained server returned no network")
+	}
+	if _, err := (AsyncOptions{LatencyModel: "bogus"}).Config(4, 1); err == nil {
+		t.Fatal("bad latency spec must error")
 	}
 }
 

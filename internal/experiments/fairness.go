@@ -54,7 +54,7 @@ func Fig4(opts Options) (*Fig4Result, error) {
 		DisableStreaming: opts.DisableStreaming,
 		IntraOp:          opts.IntraOp,
 	}
-	srv, err := RunFL(fl.FedAvg{}, dd, MarketShareCounts(dd, opts.scaled(50)), cfg, SimpleCNNBuilder(opts.Seed, dd.Classes))
+	srv, err := RunFL(opts, fl.FedAvg{}, dd, MarketShareCounts(dd, opts.scaled(50)), cfg, SimpleCNNBuilder(opts.Seed, dd.Classes))
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func Fig5(opts Options) (*Fig5Result, error) {
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)
 
 	perDeviceClients := 2
-	ref, err := RunFL(fl.FedAvg{}, dd, EqualCounts(n, n*perDeviceClients), cfg, builder)
+	ref, err := RunFL(opts, fl.FedAvg{}, dd, EqualCounts(n, n*perDeviceClients), cfg, builder)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +135,7 @@ func Fig5(opts Options) (*Fig5Result, error) {
 	for j := 0; j < n; j++ {
 		counts := EqualCounts(n, n*perDeviceClients)
 		counts[j] = 0
-		srv, err := RunFL(fl.FedAvg{}, dd, counts, cfg, builder)
+		srv, err := RunFL(opts, fl.FedAvg{}, dd, counts, cfg, builder)
 		if err != nil {
 			return nil, err
 		}

@@ -72,7 +72,7 @@ func Table6(opts Options) (*Table6Result, error) {
 	}
 	res := &Table6Result{}
 	for _, strat := range strategies {
-		srv, err := RunFLWithLoss(strat, fed.Train, counts, flCfg, builder, nn.BCEWithLogits{})
+		srv, err := RunFLWithLoss(opts, strat, fed.Train, counts, flCfg, builder, nn.BCEWithLogits{})
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s: %w", strat.Name(), err)
 		}

@@ -98,7 +98,7 @@ func Table4(opts Options) (*Table4Result, error) {
 
 	res := &Table4Result{}
 	for _, strat := range table4Methods(n) {
-		srv, err := RunFL(strat, dd, counts, cfg, builder)
+		srv, err := RunFL(opts, strat, dd, counts, cfg, builder)
 		if err != nil {
 			return nil, fmt.Errorf("table4 %s: %w", strat.Name(), err)
 		}
@@ -150,7 +150,7 @@ func Table5(opts Options) (*Table5Result, error) {
 		}
 		var scores [2]MethodScore
 		for i, strat := range []fl.Strategy{fl.FedAvg{}, core.New()} {
-			srv, err := RunFL(strat, dd, counts, cfg, builder)
+			srv, err := RunFL(opts, strat, dd, counts, cfg, builder)
 			if err != nil {
 				return nil, fmt.Errorf("table5 %s/%s: %w", arch, strat.Name(), err)
 			}

@@ -28,6 +28,7 @@ var registry = map[string]Runner{
 	"fig8":             wrap(Fig8),
 	"ecg":              wrap(ECG),
 	"fig9":             wrap(Fig9),
+	"async-sweep":      wrap(AsyncSweep),
 	"ablation-switch":  wrap(AblationSwitches),
 	"unseen-dg":        wrap(UnseenDG),
 	"ablation-alpha":   wrap(AblationEMAAlpha),

@@ -58,7 +58,7 @@ func Fig9(opts Options) (*Fig9Result, error) {
 		IntraOp:          opts.IntraOp,
 	}
 	eval := func(cfg fl.Config) (float64, error) {
-		srv, err := RunFL(fl.FedAvg{}, dd, counts, cfg, builder)
+		srv, err := RunFL(opts, fl.FedAvg{}, dd, counts, cfg, builder)
 		if err != nil {
 			return 0, err
 		}

@@ -149,7 +149,7 @@ func Fig8(opts Options) (*Fig8Result, error) {
 	counts := EqualCounts(numDevices, opts.scaled(20))
 
 	run := func(strat fl.Strategy) ([]float64, MethodScore, error) {
-		srv, err := RunFLWithLoss(strat, train, counts, cfg, builder, lossCE())
+		srv, err := RunFLWithLoss(opts, strat, train, counts, cfg, builder, lossCE())
 		if err != nil {
 			return nil, MethodScore{}, err
 		}

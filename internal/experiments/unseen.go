@@ -79,7 +79,7 @@ func UnseenDG(opts Options) (*UnseenResult, error) {
 	builder := SimpleCNNBuilder(opts.Seed, dd.Classes)
 
 	for _, strat := range []fl.Strategy{fl.FedAvg{}, core.New()} {
-		srv, err := RunFL(strat, dd, counts, cfg, builder)
+		srv, err := RunFL(opts, strat, dd, counts, cfg, builder)
 		if err != nil {
 			return nil, err
 		}

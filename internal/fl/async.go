@@ -1,0 +1,483 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/simclock"
+)
+
+// StalenessPolicy maps a completed result's staleness — how many global
+// model updates were applied between its dispatch and its arrival — to the
+// multiplicative discount on its fold weight. Weight must be a deterministic
+// function of staleness, and policies that preserve the synchronous
+// equivalence contract keep Weight(0) == 1 so fresh results fold exactly as
+// the synchronous server folds them (PolynomialStaleness does;
+// ConstantStaleness only at C = 1). A weight of 0 drops the result.
+type StalenessPolicy interface {
+	Name() string
+	Weight(staleness int) float64
+}
+
+// ConstantStaleness applies the same weight C to every result regardless of
+// staleness — FedAsync's "constant" policy. C = 1 disables discounting; any
+// other C also rescales FRESH results (Weight(0) = C ≠ 1), deliberately
+// trading away the sync-equivalence contract, and C = 0 discards every
+// result, freezing the global model. Use PolynomialStaleness when staleness
+// alone should drive the discount.
+type ConstantStaleness struct {
+	C float64
+}
+
+// Name implements StalenessPolicy.
+func (p ConstantStaleness) Name() string { return fmt.Sprintf("const(%g)", p.C) }
+
+// Weight implements StalenessPolicy.
+func (p ConstantStaleness) Weight(int) float64 { return p.C }
+
+// PolynomialStaleness is the polynomial discount 1/(1+s)^Alpha: fresh results
+// fold at full weight and weight decays polynomially with staleness. Alpha = 0
+// (the zero value) makes the discount identically 1.
+type PolynomialStaleness struct {
+	Alpha float64
+}
+
+// Name implements StalenessPolicy.
+func (p PolynomialStaleness) Name() string { return fmt.Sprintf("poly(%g)", p.Alpha) }
+
+// Weight implements StalenessPolicy.
+func (p PolynomialStaleness) Weight(staleness int) float64 {
+	if staleness <= 0 || p.Alpha == 0 {
+		return 1
+	}
+	return math.Pow(1+float64(staleness), -p.Alpha)
+}
+
+// AsyncConfig carries the asynchronous server's knobs on top of the shared
+// fl.Config hyperparameters.
+type AsyncConfig struct {
+	// Staleness discounts stale folds. nil means no discount
+	// (PolynomialStaleness{Alpha: 0}).
+	Staleness StalenessPolicy
+	// Latency models each dispatched job's virtual duration. nil means zero
+	// latency: every job completes at its dispatch instant, which (with the
+	// default Concurrency/Buffer) makes the async run bit-identical to the
+	// synchronous streaming server.
+	Latency simclock.LatencyModel
+	// Concurrency is the number of jobs kept in flight. 0 means
+	// cfg.ClientsPerRound. Values above Buffer overlap aggregation windows:
+	// jobs dispatched against older globals complete under newer ones, which
+	// is where staleness (and its discount) appears.
+	Concurrency int
+	// Buffer is the number of completed results folded per aggregation
+	// (FedBuff's K). 0 means cfg.ClientsPerRound.
+	Buffer int
+}
+
+// withDefaults resolves zero fields against the base config.
+func (a AsyncConfig) withDefaults(cfg Config) AsyncConfig {
+	if a.Staleness == nil {
+		a.Staleness = PolynomialStaleness{}
+	}
+	if a.Latency == nil {
+		a.Latency = simclock.Constant{}
+	}
+	if a.Buffer == 0 {
+		a.Buffer = cfg.ClientsPerRound
+	}
+	if a.Concurrency == 0 {
+		a.Concurrency = a.Buffer
+	}
+	return a
+}
+
+// validate reports configuration errors (after withDefaults).
+func (a AsyncConfig) validate() error {
+	if a.Buffer < 1 || a.Concurrency < 1 {
+		return fmt.Errorf("fl: non-positive async buffer/concurrency: %d/%d", a.Buffer, a.Concurrency)
+	}
+	if a.Buffer > a.Concurrency {
+		return fmt.Errorf("fl: async buffer %d exceeds concurrency %d (a window could never fill)", a.Buffer, a.Concurrency)
+	}
+	return nil
+}
+
+// AsyncRoundStats extends RoundStats with the asynchronous path's
+// observability: where the virtual clock stood when the aggregation fired and
+// how stale (and therefore how discounted) the folded results were.
+type AsyncRoundStats struct {
+	RoundStats
+	// VirtualTime is the simulated clock at this aggregation, in the latency
+	// model's units.
+	VirtualTime float64
+	// MeanStaleness is the mean number of global updates applied between
+	// dispatch and arrival across this window's results; MaxStaleness the
+	// worst case.
+	MeanStaleness float64
+	MaxStaleness  int
+	// MeanDiscount is the mean staleness weight applied to this window's
+	// folds (1 when nothing was stale or discounting is off).
+	MeanDiscount float64
+	// Version is the number of global model updates applied through this
+	// aggregation.
+	Version int
+}
+
+// asyncJob is one dispatched unit of client work: who trains, and against
+// which global version.
+type asyncJob struct {
+	client  *Client
+	version int
+}
+
+// AsyncServer drives staleness-aware asynchronous federated training on a
+// deterministic virtual-time simulation. There is no round barrier: the
+// server keeps Concurrency jobs in flight, a simclock heap orders their
+// completions in virtual time, and every completed result folds into the
+// streaming accumulator immediately — discounted by the staleness policy —
+// with an aggregation (a new global version) every Buffer folds. New work is
+// admitted at aggregation boundaries, so each job trains against a
+// well-defined broadcast version; with Concurrency > Buffer the windows
+// overlap and results arrive stale.
+//
+// Determinism: the only randomness is the client-sampling stream (the same
+// stream, in the same order, as the synchronous server's) and the hash-seeded
+// latency model; completion ties at one virtual instant break by dispatch
+// sequence. Two runs with the same Config, AsyncConfig, and population are
+// bit-identical, and a run with zero latency, no discount, and
+// Concurrency == Buffer == ClientsPerRound is bit-identical to the
+// synchronous streaming server with Workers = 1. No wall-clock time is read
+// anywhere in the loop.
+//
+// Training is evaluated lazily at completion time on a single replica that
+// gets the full intra-op kernel budget (Config.Workers is ignored): the
+// simulation's parallelism lives inside the kernels, where it is bit-exact,
+// not across clients, where fold order would become scheduling-dependent.
+type AsyncServer struct {
+	Cfg      Config
+	Async    AsyncConfig
+	Strategy Strategy
+	Loss     nn.Loss
+	Clients  []*Client
+	Global   nn.Weights
+	// Version counts applied global updates. A window whose folds all carried
+	// zero weight leaves the model — and so the version — unchanged.
+	Version int
+
+	builder Builder
+	rng     *frand.RNG
+	net     *nn.Network
+	sa      StreamingAggregator
+	acc     WeightedAccumulator
+	clock   simclock.Clock
+	pool    weightsPool
+	store   versionStore
+
+	// queue holds drawn-but-undispatched clients in sampling order; qhead
+	// avoids re-slicing the backing array away.
+	queue []*Client
+	qhead int
+	// jobs maps dispatch sequence number → in-flight job; seq is the
+	// monotonic dispatch counter (also the completion tie-break).
+	jobs map[int]asyncJob
+	seq  int
+	// window counts completed aggregation windows (== RoundStats.Round).
+	window  int
+	dropped []int
+}
+
+// NewAsyncServer builds an asynchronous server with a fresh global model.
+// The strategy must support streaming aggregation with weighted folds
+// (FedAvg, FedProx, HeteroSwitch); barrier-only strategies (q-FedAvg,
+// SCAFFOLD) need every result of a round at once and cannot aggregate
+// asynchronously.
+func NewAsyncServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy,
+	clients []*Client, async AsyncConfig) (*AsyncServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if cfg.ClientsPerRound > len(clients) {
+		return nil, fmt.Errorf("fl: K=%d exceeds population %d", cfg.ClientsPerRound, len(clients))
+	}
+	async = async.withDefaults(cfg)
+	if err := async.validate(); err != nil {
+		return nil, err
+	}
+	sa, ok := strategy.(StreamingAggregator)
+	if !ok {
+		return nil, fmt.Errorf("fl: strategy %s cannot aggregate asynchronously (no streaming fold)", strategy.Name())
+	}
+	net := builder()
+	net.SetIntraOp(intraOpShare(cfg, 1))
+	global := net.Snapshot()
+	acc, ok := sa.NewAccumulator(global, cfg).(WeightedAccumulator)
+	if !ok {
+		return nil, fmt.Errorf("fl: strategy %s's accumulator cannot fold weighted results", strategy.Name())
+	}
+	return &AsyncServer{
+		Cfg:      cfg,
+		Async:    async,
+		Strategy: strategy,
+		Loss:     loss,
+		Clients:  clients,
+		Global:   global,
+		builder:  builder,
+		// The same sampling stream as the synchronous server: with zero
+		// latency and no discount the two draw identical client sequences.
+		rng:  frand.New(cfg.Seed ^ 0x5ca1ab1e),
+		net:  net,
+		sa:   sa,
+		acc:  acc,
+		jobs: make(map[int]asyncJob),
+	}, nil
+}
+
+// nextClient pops the dispatch queue, refilling it with a fresh K-client
+// draw — consuming the sampling RNG exactly as the synchronous server's
+// SampleClients + dropout pass does — whenever it runs dry. Clients lost to
+// dropout are recorded and never dispatched (their broadcast still counts,
+// since dropout is only observed after the round trip).
+func (s *AsyncServer) nextClient(st *AsyncRoundStats, wb int64) *Client {
+	for {
+		if s.qhead < len(s.queue) {
+			c := s.queue[s.qhead]
+			s.queue[s.qhead] = nil
+			s.qhead++
+			if s.qhead == len(s.queue) {
+				s.queue = s.queue[:0]
+				s.qhead = 0
+			}
+			return c
+		}
+		for _, j := range s.rng.Choice(len(s.Clients), s.Cfg.ClientsPerRound) {
+			c := s.Clients[j]
+			if s.Cfg.ClientDropout > 0 && s.rng.Float64() < s.Cfg.ClientDropout {
+				s.dropped = append(s.dropped, c.ID)
+				st.BytesDown += wb
+				continue
+			}
+			s.queue = append(s.queue, c)
+		}
+	}
+}
+
+// admit tops the in-flight set up to Concurrency at the current virtual
+// time, broadcasting the current global version to each new job.
+func (s *AsyncServer) admit(st *AsyncRoundStats) {
+	wb := weightBytes(s.Global)
+	for len(s.jobs) < s.Async.Concurrency {
+		c := s.nextClient(st, wb)
+		id := s.seq
+		s.seq++
+		s.jobs[id] = asyncJob{client: c, version: s.Version}
+		s.store.retain(s.Version, s.Global)
+		s.clock.Schedule(s.clock.Now()+s.Async.Latency.Sample(c.ID, id), id)
+		st.BytesDown += wb
+	}
+}
+
+// runJob lazily evaluates one completed job — training against the exact
+// global version broadcast at its dispatch — and folds the result into the
+// round accumulator at the given discount. The returned result carries only
+// scalar stats; its weights aliased the recycled scratch buffer.
+func (s *AsyncServer) runJob(job asyncJob, discount float64) ClientResult {
+	global := s.store.weights(job.version)
+	scratch := s.pool.get(global)
+	defer s.pool.put(scratch)
+	res := localUpdate(s.Strategy, s.net, global, job.client, s.Cfg, s.Loss, job.version, &scratch)
+	s.acc.AccumulateWeighted(res, discount)
+	res.Weights = Weights{}
+	return res
+}
+
+// RunRound executes one aggregation window: admit new jobs, fold the next
+// Buffer completions in virtual-time order, and apply the aggregated update.
+func (s *AsyncServer) RunRound() AsyncRoundStats {
+	var st AsyncRoundStats
+	st.Round = s.window
+	s.window++
+	s.admit(&st)
+	st.Dropped = s.dropped
+	s.dropped = nil
+
+	wb := weightBytes(s.Global)
+	var totalSamples, staleSum, discSum float64
+	for fold := 0; fold < s.Async.Buffer; fold++ {
+		ev, ok := s.clock.Next()
+		if !ok {
+			panic("fl: async event queue drained mid-window")
+		}
+		job := s.jobs[ev.ID]
+		delete(s.jobs, ev.ID)
+		staleness := s.Version - job.version
+		discount := s.Async.Staleness.Weight(staleness)
+		res := s.runJob(job, discount)
+		s.store.release(job.version, s.Global)
+
+		n := float64(res.NumSamples)
+		st.MeanLoss += res.TrainLoss * n
+		st.MeanInit += res.InitLoss * n
+		totalSamples += n
+		st.Sampled = append(st.Sampled, res.ClientID)
+		st.BytesUp += wb
+		staleSum += float64(staleness)
+		discSum += discount
+		if staleness > st.MaxStaleness {
+			st.MaxStaleness = staleness
+		}
+	}
+	if totalSamples > 0 {
+		st.MeanLoss /= totalSamples
+		st.MeanInit /= totalSamples
+	}
+	st.MeanStaleness = staleSum / float64(s.Async.Buffer)
+	st.MeanDiscount = discSum / float64(s.Async.Buffer)
+	st.TotalEpochs = s.Async.Buffer * s.Cfg.LocalEpochs
+
+	s.finalizeWindow()
+	st.VirtualTime = s.clock.Now()
+	st.Version = s.Version
+	return st
+}
+
+// finalizeWindow turns the window's accumulator into the next global
+// version. Like the synchronous server it prefers FinalizeInto on a recycled
+// buffer; the buffer pool here is the version store's, fed by retired globals
+// once their last in-flight reader completes. A window whose folds all
+// carried zero weight (every discount was 0) leaves the global — and the
+// version counter — unchanged, so staleness keeps measuring real model drift.
+func (s *AsyncServer) finalizeWindow() {
+	old := s.Global
+	if fi, ok := s.acc.(IntoFinalizer); ok {
+		buf := s.store.takeBuffer(old)
+		if fi.FinalizeInto(buf) {
+			s.Global = buf
+		} else {
+			s.store.giveBuffer(buf)
+		}
+	} else {
+		s.Global = s.acc.Finalize()
+	}
+	if !sharesStorage(s.Global, old) {
+		s.Version++
+		s.store.retire(old)
+	}
+	if ra, ok := s.acc.(ResettableAccumulator); ok {
+		ra.Reset(s.Global, s.Cfg)
+	} else {
+		s.acc = s.sa.NewAccumulator(s.Global, s.Cfg).(WeightedAccumulator)
+	}
+}
+
+// Run executes cfg.Rounds aggregation windows, invoking callback (if
+// non-nil) after each.
+func (s *AsyncServer) Run(callback func(AsyncRoundStats)) {
+	for w := 0; w < s.Cfg.Rounds; w++ {
+		st := s.RunRound()
+		if callback != nil {
+			callback(st)
+		}
+	}
+}
+
+// Now returns the current virtual time of the simulation.
+func (s *AsyncServer) Now() float64 { return s.clock.Now() }
+
+// InFlight returns the number of dispatched-but-unfolded jobs.
+func (s *AsyncServer) InFlight() int { return len(s.jobs) }
+
+// GlobalNet returns a network loaded with the current global weights, for
+// evaluation; it gets the full intra-op budget like the synchronous server's.
+func (s *AsyncServer) GlobalNet() *nn.Network {
+	net := s.builder()
+	if err := net.LoadWeights(s.Global); err != nil {
+		panic("fl: builder incompatible with global weights: " + err.Error())
+	}
+	net.SetIntraOp(intraOpShare(s.Cfg, 1))
+	return net
+}
+
+// versionStore tracks the global weight sets still referenced by in-flight
+// jobs, so lazily evaluated training always sees the exact version broadcast
+// at its dispatch. Fully released stale versions recycle into a free pool
+// that finalizeWindow draws its outgoing-global buffers from, keeping the
+// steady state of the async loop free of model-sized allocations (the
+// asynchronous analogue of the synchronous server's spare double-buffer).
+type versionStore struct {
+	entries map[int]*versionEntry
+	free    []nn.Weights
+}
+
+type versionEntry struct {
+	w    nn.Weights
+	refs int
+}
+
+// retain records one in-flight reference to version v, whose weights are w.
+func (vs *versionStore) retain(v int, w nn.Weights) {
+	if vs.entries == nil {
+		vs.entries = map[int]*versionEntry{}
+	}
+	e := vs.entries[v]
+	if e == nil {
+		e = &versionEntry{w: w}
+		vs.entries[v] = e
+	}
+	e.refs++
+}
+
+// weights returns version v's weights; v must have been retained.
+func (vs *versionStore) weights(v int) nn.Weights { return vs.entries[v].w }
+
+// release drops one in-flight reference. A fully released version's buffer
+// recycles unless it still backs the live global.
+func (vs *versionStore) release(v int, current nn.Weights) {
+	e := vs.entries[v]
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	delete(vs.entries, v)
+	if !sharesStorage(e.w, current) {
+		vs.free = append(vs.free, e.w)
+	}
+}
+
+// retire recycles an outgoing global with no in-flight readers; if readers
+// remain, release recycles it when the last one completes.
+func (vs *versionStore) retire(w nn.Weights) {
+	for _, e := range vs.entries {
+		if sharesStorage(e.w, w) {
+			return
+		}
+	}
+	vs.free = append(vs.free, w)
+}
+
+// takeBuffer returns a pooled model-shaped buffer, allocating a zeroed clone
+// only when the pool is empty.
+func (vs *versionStore) takeBuffer(like nn.Weights) nn.Weights {
+	if n := len(vs.free); n > 0 {
+		w := vs.free[n-1]
+		vs.free = vs.free[:n-1]
+		return w
+	}
+	return like.Zero()
+}
+
+// giveBuffer returns an unused buffer to the pool.
+func (vs *versionStore) giveBuffer(w nn.Weights) { vs.free = append(vs.free, w) }
+
+// sharesStorage reports whether two weight sets are backed by the same
+// tensors (the identity test behind the store's recycling decisions).
+func sharesStorage(a, b nn.Weights) bool {
+	if len(a.Params) > 0 && len(b.Params) > 0 {
+		return a.Params[0] == b.Params[0]
+	}
+	return len(a.States) > 0 && len(b.States) > 0 && a.States[0] == b.States[0]
+}

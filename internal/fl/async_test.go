@@ -1,0 +1,272 @@
+package fl
+
+import (
+	"testing"
+
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/simclock"
+)
+
+// asyncFixtureServer mirrors fixtureServer on the asynchronous path: same
+// population, hyperparameters, and seed.
+func asyncFixtureServer(t *testing.T, strat Strategy, async AsyncConfig) *AsyncServer {
+	t.Helper()
+	perDevice := fixtureData(24, 3)
+	clients, err := BuildPopulation(perDevice, []int{3, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Rounds: 20, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.2, Seed: 11, Workers: 1,
+	}
+	srv, err := NewAsyncServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, strat, clients, async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func requireBitIdentical(t *testing.T, a, b nn.Weights, what string) {
+	t.Helper()
+	for i := range a.Params {
+		if !a.Params[i].AllClose(b.Params[i], 0) {
+			t.Fatalf("%s: param %d not bit-identical", what, i)
+		}
+	}
+	for i := range a.States {
+		if !a.States[i].AllClose(b.States[i], 0) {
+			t.Fatalf("%s: state %d not bit-identical", what, i)
+		}
+	}
+}
+
+// The async contract: with zero latency, discount ≡ 1, and
+// Concurrency == Buffer == K, the asynchronous server is BIT-identical
+// (tolerance 0) to the synchronous streaming server — weights and per-round
+// scalar stats — for every strategy that folds. This is what keeps the async
+// path honest.
+func TestAsyncZeroLatencyMatchesSyncStreaming(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"FedAvg", func() Strategy { return FedAvg{} }},
+		{"FedProx", func() Strategy { return &FedProx{Mu: 0.1} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sync := fixtureServer(t, tc.strat(), 1)
+			var syncStats []RoundStats
+			sync.Run(func(s RoundStats) { syncStats = append(syncStats, s) })
+
+			// PolynomialStaleness{Alpha: 0} makes the discount identically 1.
+			async := asyncFixtureServer(t, tc.strat(), AsyncConfig{
+				Staleness: PolynomialStaleness{Alpha: 0},
+				Latency:   simclock.Constant{D: 0},
+			})
+			var asyncStats []AsyncRoundStats
+			async.Run(func(s AsyncRoundStats) { asyncStats = append(asyncStats, s) })
+
+			requireBitIdentical(t, sync.Global, async.Global, tc.name)
+			if len(syncStats) != len(asyncStats) {
+				t.Fatalf("round counts differ: %d vs %d", len(syncStats), len(asyncStats))
+			}
+			for i := range syncStats {
+				ss, as := syncStats[i], asyncStats[i]
+				if ss.MeanLoss != as.MeanLoss || ss.MeanInit != as.MeanInit {
+					t.Fatalf("round %d losses diverged: sync %v/%v async %v/%v",
+						i, ss.MeanLoss, ss.MeanInit, as.MeanLoss, as.MeanInit)
+				}
+				if len(ss.Sampled) != len(as.Sampled) {
+					t.Fatalf("round %d sampled %d vs %d", i, len(ss.Sampled), len(as.Sampled))
+				}
+				for j := range ss.Sampled {
+					if ss.Sampled[j] != as.Sampled[j] {
+						t.Fatalf("round %d sampled client order diverged: %v vs %v", i, ss.Sampled, as.Sampled)
+					}
+				}
+				if ss.BytesDown != as.BytesDown || ss.BytesUp != as.BytesUp {
+					t.Fatalf("round %d communication accounting diverged", i)
+				}
+				if as.MeanStaleness != 0 || as.MaxStaleness != 0 || as.MeanDiscount != 1 {
+					t.Fatalf("round %d saw staleness at zero latency: %+v", i, as)
+				}
+			}
+		})
+	}
+}
+
+// Two async runs with the same seed and latency model must be bit-identical:
+// weights, virtual clock, and staleness telemetry.
+func TestAsyncRunsAreBitReproducible(t *testing.T) {
+	mk := func() (*AsyncServer, []AsyncRoundStats) {
+		srv := asyncFixtureServer(t, FedAvg{}, AsyncConfig{
+			Staleness:   PolynomialStaleness{Alpha: 0.5},
+			Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.3, TailFactor: 8, Seed: 17},
+			Concurrency: 8,
+			Buffer:      4,
+		})
+		var stats []AsyncRoundStats
+		srv.Run(func(s AsyncRoundStats) { stats = append(stats, s) })
+		return srv, stats
+	}
+	a, sa := mk()
+	b, sb := mk()
+	requireBitIdentical(t, a.Global, b.Global, "reproducibility")
+	for i := range sa {
+		if sa[i].VirtualTime != sb[i].VirtualTime ||
+			sa[i].MeanStaleness != sb[i].MeanStaleness ||
+			sa[i].MeanDiscount != sb[i].MeanDiscount ||
+			sa[i].Version != sb[i].Version {
+			t.Fatalf("round %d telemetry diverged: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+// With more jobs in flight than the aggregation buffer and a straggler tail,
+// windows overlap: results must arrive stale and the polynomial policy must
+// discount them.
+func TestAsyncStalenessEngagesUnderStragglers(t *testing.T) {
+	srv := asyncFixtureServer(t, FedAvg{}, AsyncConfig{
+		Staleness:   PolynomialStaleness{Alpha: 0.5},
+		Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.4, TailFactor: 16, Seed: 5},
+		Concurrency: 8,
+		Buffer:      4,
+	})
+	sawStale, sawDiscount := false, false
+	var lastTime float64
+	srv.Run(func(s AsyncRoundStats) {
+		if s.VirtualTime < lastTime {
+			t.Fatalf("virtual time went backwards: %v after %v", s.VirtualTime, lastTime)
+		}
+		lastTime = s.VirtualTime
+		if s.MaxStaleness > 0 {
+			sawStale = true
+		}
+		if s.MeanDiscount < 1 {
+			sawDiscount = true
+		}
+		if s.MeanDiscount > 1 || s.MeanDiscount <= 0 {
+			t.Fatalf("discount out of range: %+v", s)
+		}
+	})
+	if !sawStale || !sawDiscount {
+		t.Fatalf("straggler run never produced stale folds (stale %v, discount %v)", sawStale, sawDiscount)
+	}
+	if lastTime <= 0 {
+		t.Fatal("virtual clock never advanced under nonzero latency")
+	}
+	for _, p := range srv.Global.Params {
+		if p.HasNaN() {
+			t.Fatal("NaN weights after stale aggregation")
+		}
+	}
+}
+
+// The version store must bound its footprint: at most Concurrency-Buffer
+// jobs stay in flight between windows, and old versions recycle once their
+// last reader completes.
+func TestAsyncVersionStoreBounded(t *testing.T) {
+	srv := asyncFixtureServer(t, FedAvg{}, AsyncConfig{
+		Staleness:   PolynomialStaleness{Alpha: 0.5},
+		Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.4, TailFactor: 16, Seed: 5},
+		Concurrency: 8,
+		Buffer:      4,
+	})
+	srv.Run(nil)
+	if got, want := srv.InFlight(), 8-4; got != want {
+		t.Fatalf("in-flight after run = %d, want %d", got, want)
+	}
+	if n := len(srv.store.entries); n > 8 {
+		t.Fatalf("version store retains %d versions; in-flight jobs can reference at most 8", n)
+	}
+	if n := len(srv.store.free); n > 16 {
+		t.Fatalf("version free pool grew unboundedly: %d buffers", n)
+	}
+}
+
+// Client dropout on the async path: dropped clients are drawn, recorded, and
+// never dispatched; every fold still comes from a live client.
+func TestAsyncDropoutAccounting(t *testing.T) {
+	srv := asyncFixtureServer(t, FedAvg{}, AsyncConfig{
+		Latency: simclock.Uniform{Lo: 0.5, Hi: 2, Seed: 9},
+	})
+	srv.Cfg.ClientDropout = 0.3
+	folded, dropped := 0, 0
+	srv.Run(func(s AsyncRoundStats) {
+		folded += len(s.Sampled)
+		dropped += len(s.Dropped)
+	})
+	if folded != srv.Cfg.Rounds*srv.Async.Buffer {
+		t.Fatalf("folded %d results, want %d", folded, srv.Cfg.Rounds*srv.Async.Buffer)
+	}
+	if dropped == 0 {
+		t.Fatal("30% dropout over 80 draws never dropped a client")
+	}
+	for _, p := range srv.Global.Params {
+		if p.HasNaN() {
+			t.Fatal("NaN weights under async dropout")
+		}
+	}
+}
+
+// Race coverage for the async completion loop: the intra-op budget sends the
+// lazily evaluated training through the parallel kernels while the event
+// loop folds completions. Run with -race in CI.
+func TestAsyncIntraOpParallelRace(t *testing.T) {
+	srv := asyncFixtureServer(t, FedAvg{}, AsyncConfig{
+		Staleness:   PolynomialStaleness{Alpha: 0.5},
+		Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.3, TailFactor: 8, Seed: 3},
+		Concurrency: 8,
+		Buffer:      4,
+	})
+	srv.Cfg.IntraOp = 4
+	srv.net.SetIntraOp(4)
+	srv.Run(nil)
+	for _, p := range srv.Global.Params {
+		if p.HasNaN() {
+			t.Fatal("NaN weights from async run with intra-op kernels")
+		}
+	}
+}
+
+func TestNewAsyncServerValidation(t *testing.T) {
+	perDevice := fixtureData(8, 1)
+	clients, _ := BuildPopulation(perDevice, []int{1, 1}, 1)
+	cfg := Config{Rounds: 2, ClientsPerRound: 2, BatchSize: 4, LocalEpochs: 1, LR: 0.1, Seed: 1, Workers: 1}
+	builder := fixtureBuilder(1)
+	loss := nn.SoftmaxCrossEntropy{}
+
+	// Barrier-only strategies cannot aggregate asynchronously.
+	for _, strat := range []Strategy{&QFedAvg{Q: 1}, &Scaffold{}} {
+		if _, err := NewAsyncServer(cfg, builder, loss, strat, clients, AsyncConfig{}); err == nil {
+			t.Fatalf("%s must be rejected by the async server", strat.Name())
+		}
+	}
+	// A window larger than the in-flight set could never fill.
+	if _, err := NewAsyncServer(cfg, builder, loss, FedAvg{}, clients, AsyncConfig{Concurrency: 2, Buffer: 4}); err == nil {
+		t.Fatal("Buffer > Concurrency must be rejected")
+	}
+	if _, err := NewAsyncServer(cfg, builder, loss, FedAvg{}, clients, AsyncConfig{Buffer: -1}); err == nil {
+		t.Fatal("negative buffer must be rejected")
+	}
+	if _, err := NewAsyncServer(cfg, builder, loss, FedAvg{}, nil, AsyncConfig{}); err == nil {
+		t.Fatal("empty population must be rejected")
+	}
+	bad := cfg
+	bad.ClientsPerRound = 50
+	if _, err := NewAsyncServer(bad, builder, loss, FedAvg{}, clients, AsyncConfig{}); err == nil {
+		t.Fatal("K > N must be rejected")
+	}
+	// Defaults resolve: K-sized window, depth-1 pipeline, no discount.
+	srv, err := NewAsyncServer(cfg, builder, loss, FedAvg{}, clients, AsyncConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Async.Buffer != 2 || srv.Async.Concurrency != 2 {
+		t.Fatalf("defaults not resolved: %+v", srv.Async)
+	}
+	if srv.Async.Staleness.Weight(3) != 1 {
+		t.Fatal("default policy must not discount")
+	}
+}

@@ -118,6 +118,29 @@ func weightBytes(w Weights) int64 {
 // Weights aliases nn.Weights for the local helper above.
 type Weights = nn.Weights
 
+// localUpdate runs one client's local training against the given global
+// weights on the given replica — the unit of work shared by the synchronous
+// round loop and the asynchronous event loop. round keys the client's
+// deterministic per-round RNG; on the async path it is the global version the
+// client trains against.
+func localUpdate(strategy Strategy, net *nn.Network, global nn.Weights, client *Client,
+	cfg Config, loss nn.Loss, round int, scratch *nn.Weights) ClientResult {
+	if err := net.LoadWeights(global); err != nil {
+		panic("fl: replica incompatible with global weights: " + err.Error())
+	}
+	ctx := &ClientContext{
+		Net:     net,
+		Global:  global,
+		Client:  client,
+		Cfg:     cfg,
+		Loss:    loss,
+		Round:   round,
+		RNG:     client.RoundRNG(round),
+		Scratch: scratch,
+	}
+	return strategy.LocalUpdate(ctx)
+}
+
 // RunRound executes one communication round and returns its stats.
 //
 // When the strategy implements StreamingAggregator (and streaming is not
@@ -158,21 +181,7 @@ func (s *Server) RunRound(round int) RoundStats {
 	streaming = streaming && !s.Cfg.DisableStreaming
 
 	runClient := func(net *nn.Network, i int, scratch *nn.Weights) ClientResult {
-		client := sampled[i]
-		if err := net.LoadWeights(s.Global); err != nil {
-			panic("fl: replica incompatible with global weights: " + err.Error())
-		}
-		ctx := &ClientContext{
-			Net:     net,
-			Global:  s.Global,
-			Client:  client,
-			Cfg:     s.Cfg,
-			Loss:    s.Loss,
-			Round:   round,
-			RNG:     client.RoundRNG(round),
-			Scratch: scratch,
-		}
-		return s.Strategy.LocalUpdate(ctx)
+		return localUpdate(s.Strategy, net, s.Global, sampled[i], s.Cfg, s.Loss, round, scratch)
 	}
 
 	var wg sync.WaitGroup

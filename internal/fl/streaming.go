@@ -50,6 +50,18 @@ type IntoFinalizer interface {
 	FinalizeInto(dst nn.Weights) bool
 }
 
+// WeightedAccumulator is an optional Accumulator capability: accumulators
+// that can fold a client result with an extra multiplicative weight implement
+// it so the asynchronous server can discount stale results. scale multiplies
+// the result's native fold weight (its sample count, for the FedAvg family);
+// AccumulateWeighted(r, 1) must be exactly Accumulate(r), bit for bit — that
+// identity is what keeps the zero-staleness async path equivalent to the
+// synchronous one. A scale of 0 contributes nothing to the aggregate.
+type WeightedAccumulator interface {
+	Accumulator
+	AccumulateWeighted(result ClientResult, scale float64)
+}
+
 // ResettableAccumulator is an optional Accumulator capability: accumulators
 // whose state can be rewound implement it so the server reuses one
 // accumulator per worker for its whole lifetime instead of allocating
@@ -98,13 +110,26 @@ func (p *FedProx) NewAccumulator(global nn.Weights, cfg Config) Accumulator {
 
 // Accumulate implements Accumulator.
 func (a *fedAvgAccumulator) Accumulate(r ClientResult) {
+	a.AccumulateWeighted(r, 1)
+}
+
+// AccumulateWeighted implements WeightedAccumulator: the fold weight is
+// scale·n_k, so the async server's staleness discount composes with FedAvg's
+// sample weighting. scale = 1 is byte-for-byte the synchronous fold.
+func (a *fedAvgAccumulator) AccumulateWeighted(r ClientResult, scale float64) {
 	// Fail as loudly as the barrier path's weightedAverage would: a short
 	// result would otherwise grow total without touching the sums, silently
 	// shrinking the aggregate toward zero.
 	if len(r.Weights.Params) != len(a.params) || len(r.Weights.States) != len(a.states) {
 		panic("fl: streamed result weight count incompatible with accumulator")
 	}
-	n := float64(r.NumSamples)
+	// A zero scale contributes nothing: skip the model-sized fold entirely,
+	// also keeping 0·±Inf/0·NaN from a diverged (and deliberately zeroed-out)
+	// result off the sums.
+	if scale == 0 {
+		return
+	}
+	n := scale * float64(r.NumSamples)
 	for i, p := range r.Weights.Params {
 		dst, src := a.params[i], p.Data()
 		if len(src) != len(dst) {
@@ -199,6 +224,13 @@ func (a *fedAvgAccumulator) FinalizeInto(dst nn.Weights) bool {
 	}
 	return true
 }
+
+// interface conformance checks
+var (
+	_ WeightedAccumulator   = (*fedAvgAccumulator)(nil)
+	_ ResettableAccumulator = (*fedAvgAccumulator)(nil)
+	_ IntoFinalizer         = (*fedAvgAccumulator)(nil)
+)
 
 // mergeShards folds accs[1:] into accs[0] tree-style (pairwise, doubling
 // stride) and returns the root, ready to finalize. Tree order keeps the
