@@ -261,6 +261,81 @@ func BenchmarkTrainLocalParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEval measures one eval-batch forward pass on the fused inference
+// fast path (Network.Freeze: BN folded into conv/dense, activations fused as
+// kernel epilogues, no backward caches) against the reference
+// layer-by-layer eval forward, across intra-op budgets. Acceptance: the
+// ConvNet fused path is ≥2× the reference at intraop 4 on a multi-core box
+// (both paths parallelize, so the gap is pure fusion + skipped caches), no
+// slower at intraop 1, with 0 steady-state allocs/op (arena outputs, pooled
+// dispatch, per-chunk im2col scratch). On a 1-core runner the budgets
+// converge; the CI bench-smoke artifact records whatever the runner gives.
+func BenchmarkEval(b *testing.B) {
+	cases := []struct {
+		name    string
+		shape   []int
+		builder func() *nn.Network
+	}{
+		{"MLP", []int{3, 16, 16}, func() *nn.Network {
+			br := frand.New(7)
+			return nn.NewNetwork(
+				nn.NewFlatten(),
+				nn.NewDense(br, 3*16*16, 256), nn.NewReLU(),
+				nn.NewDense(br, 256, 128), nn.NewReLU(),
+				nn.NewDense(br, 128, 12),
+			)
+		}},
+		{"ConvNet", []int{3, 32, 32}, func() *nn.Network {
+			// MobileNetV3-shaped (the paper's §6 default): 3×3 stem, 1×1
+			// expand, 3×3 depthwise, 1×1 project — the mix the fast path's
+			// pointwise/depthwise kernels target.
+			br := frand.New(7)
+			return nn.NewNetwork(
+				nn.NewConv2D(br, 3, 16, 3, 2, 1, 1),
+				nn.NewBatchNorm2D(16),
+				nn.NewHardSwish(),
+				nn.NewConv2D(br, 16, 48, 1, 1, 0, 1),
+				nn.NewBatchNorm2D(48),
+				nn.NewHardSwish(),
+				nn.NewDepthwiseConv2D(br, 48, 3, 1, 1),
+				nn.NewBatchNorm2D(48),
+				nn.NewHardSwish(),
+				nn.NewConv2D(br, 48, 32, 1, 1, 0, 1),
+				nn.NewBatchNorm2D(32),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(br, 32, 12),
+			)
+		}},
+	}
+	for _, tc := range cases {
+		for _, mode := range []string{"fused", "reference"} {
+			for _, par := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/intraop=%d", tc.name, mode, par), func(b *testing.B) {
+					r := frand.New(17)
+					x := tensor.Randn(r, 0.5, append([]int{16}, tc.shape...)...)
+					net := tc.builder()
+					net.SetIntraOp(par)
+					fz := net.Freeze()
+					// Warm the arena, dispatch pools, and im2col scratch.
+					fz.Infer(x)
+					net.Forward(x, false)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if mode == "fused" {
+							benchEvalSink = fz.Infer(x)
+						} else {
+							benchEvalSink = net.Forward(x, false)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+var benchEvalSink *tensor.Tensor
+
 // Substrate micro-benchmarks ---------------------------------------------------
 
 // BenchmarkDeviceCapture measures one full sensor+ISP capture of a 64x64

@@ -64,6 +64,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "parallel client trainers")
 		intraop  = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier  = flag.Bool("barrier", false, "force legacy barrier aggregation (materialize all K snapshots)")
+		fused    = flag.Bool("fused-eval", true, "evaluate through the frozen inference fast path (BN folded, activations fused); -fused-eval=false keeps the reference layer-by-layer eval forward")
 		logEvery = flag.Int("log-every", 10, "print loss every N rounds")
 
 		async      = flag.Bool("async", false, "asynchronous staleness-aware aggregation on a deterministic virtual-time simulation (no round barrier)")
@@ -72,6 +73,7 @@ func main() {
 		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of K (1 = no overlap, so no staleness)")
 	)
 	flag.Parse()
+	nn.SetFusedEval(*fused)
 
 	opts := experiments.DefaultOptions()
 	opts.Seed = *seed

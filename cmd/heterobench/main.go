@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"heteroswitch/internal/experiments"
+	"heteroswitch/internal/nn"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers (0 = auto)")
 		intraop = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier = flag.Bool("barrier", false, "force legacy barrier aggregation instead of streaming")
+		fused   = flag.Bool("fused-eval", true, "evaluate through the frozen inference fast path (BN folded, activations fused); -fused-eval=false keeps the reference layer-by-layer eval forward")
 		list    = flag.Bool("list", false, "list available experiments")
 
 		async      = flag.Bool("async", false, "run streaming-capable harness strategies on the asynchronous staleness-aware server (virtual-time simulation)")
@@ -41,6 +43,7 @@ func main() {
 		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of each harness's K")
 	)
 	flag.Parse()
+	nn.SetFusedEval(*fused)
 
 	if *list {
 		for _, name := range experiments.Names() {

@@ -157,6 +157,51 @@
 // wall-clock under straggler distributions), and experiments.Options.Async,
 // which reroutes every harness's RunFL funnel through the async server.
 //
+// # Inference fast path
+//
+// The server-side loop is eval-heavy: every round and every sweep cell runs
+// full-dataset accuracy, loss, and fairness metrics on the current global
+// model. nn.Network.Freeze compiles a network into an inference-only view
+// (nn.Frozen) that strips every training-mode cost:
+//
+//   - Each BatchNorm2D directly following a Conv2D or Dense is folded into
+//     that layer's weights and bias using the RUNNING statistics
+//     (W′ = W·γ/√(var+ε), b′ = b·γ/√(var+ε) + β − mean·γ/√(var+ε)), so no
+//     normalization pass runs at all. A BN with no matmul predecessor (after
+//     a residual sum or pooling) stays a standalone channel-parallel affine.
+//   - The activation following a matmul layer (ReLU, HardSwish, HardSigmoid,
+//     Sigmoid) is fused into the kernel as a tensor.RowEpilogue: bias + act
+//     are applied to each output row inside the parallel chunk that computed
+//     it, so the output is never re-traversed by a separate layer pass.
+//   - 1×1 stride-1 unpadded convs matmul the image slice directly (their
+//     im2col matrix IS the image); depthwise convs run a direct tap-outer
+//     plane kernel (tensor.DepthwiseConvPlane) with no lowering. Remaining
+//     convs keep one im2col scratch per parallel chunk instead of caching
+//     every sample×group column matrix for a backward pass.
+//   - Pooling, activations, and the standalone BN path are parallel under
+//     the intra-op budget (parallel.GrainFor); nested Networks are inlined;
+//     Dropout and Identity compile away.
+//
+// A frozen view shares its source network's arena and intra-op budget like
+// any layer, is re-folded (not recompiled) on every Freeze call so it
+// tracks weight updates, and allocates nothing in steady state.
+//
+// Contract boundary: BN folding reorders float operations, so the frozen
+// forward is TOLERANCE-based — within 1e-5 max-abs of the reference eval
+// forward with identical argmax on the test fixtures — while networks
+// without folded BN (SqueezeNet) are bit-exact, and the frozen forward is
+// itself bit-identical across intra-op budgets. Training paths are
+// untouched: every tol-0 training bit-reproducibility contract (arena,
+// intra-op, async) holds unchanged. Consumers route through nn.EvalView,
+// which returns the frozen replica when fused eval is enabled (the default)
+// and the reference forward under -fused-eval=false (flsim, heterobench) or
+// nn.SetFusedEval(false): metrics.Accuracy / MeanLoss / PerDeviceAccuracy /
+// MultiLabelScores, fl.EvalLoss (per-client L_init, including inside server
+// workers and the async completion loop), and the experiment eval sweeps.
+// The reference path also remains the only path for anything that needs
+// batch statistics or backward passes — training, gradient checks — and for
+// exact A/B measurements (BenchmarkEval fused vs reference).
+//
 // The root package exists to carry the repository-level benchmarks in
 // bench_test.go, one per table and figure of the paper's evaluation, plus
 // the aggregation-pipeline benchmarks.

@@ -60,6 +60,21 @@ func (bs *BatchScratch) Next(ds *Dataset, lo, hi int) (x, y *tensor.Tensor, labe
 	return x, nil, labels
 }
 
+// ForBatches is the shared eval-loop iterator: it sweeps ds in windows of
+// the given batch size (the last window may be partial), recycling this
+// scratch's buffers for every window, and invokes fn with the window bounds
+// and the Next-style buffers. Every batched evaluation loop — accuracy,
+// mean loss, per-device sweeps, multi-label scoring — iterates through it
+// instead of hand-rolling the lo/hi arithmetic.
+func (bs *BatchScratch) ForBatches(ds *Dataset, batch int,
+	fn func(lo, hi int, x, y *tensor.Tensor, labels []int)) {
+	for lo := 0; lo < ds.Len(); lo += batch {
+		hi := min(lo+batch, ds.Len())
+		x, y, labels := bs.Next(ds, lo, hi)
+		fn(lo, hi, x, y, labels)
+	}
+}
+
 // Alloc returns an uninitialized tensor with the current batch's lifetime
 // (recycled at the next Next call), co-allocating loop-side tensors — a loss
 // gradient, say — with the batch buffers. Within one batch, returned tensors

@@ -76,3 +76,44 @@ func TestBatchScratchZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("warm BatchScratch allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestForBatchesCoversDataset checks the shared eval iterator visits every
+// window exactly once (including the partial tail) with Next's buffers.
+func TestForBatchesCoversDataset(t *testing.T) {
+	r := frand.New(9)
+	ds := &Dataset{NumClasses: 4}
+	for i := 0; i < 11; i++ {
+		ds.Samples = append(ds.Samples, Sample{X: tensor.Randn(r, 1, 2, 3, 3), Label: i % 4})
+	}
+	bs := GetBatchScratch()
+	defer PutBatchScratch(bs)
+	var bounds [][2]int
+	seen := 0
+	bs.ForBatches(ds, 4, func(lo, hi int, x, y *tensor.Tensor, labels []int) {
+		bounds = append(bounds, [2]int{lo, hi})
+		if y != nil {
+			t.Fatal("single-label data must not produce dense targets")
+		}
+		if x.Dim(0) != hi-lo || len(labels) != hi-lo {
+			t.Fatalf("window [%d,%d): batch %d, labels %d", lo, hi, x.Dim(0), len(labels))
+		}
+		for i, l := range labels {
+			if l != (lo+i)%4 {
+				t.Fatalf("window [%d,%d): label %d = %d, want %d", lo, hi, i, l, (lo+i)%4)
+			}
+		}
+		seen += hi - lo
+	})
+	want := [][2]int{{0, 4}, {4, 8}, {8, 11}}
+	if len(bounds) != len(want) {
+		t.Fatalf("windows %v, want %v", bounds, want)
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("window %d = %v, want %v", i, bounds[i], want[i])
+		}
+	}
+	if seen != ds.Len() {
+		t.Fatalf("covered %d samples, want %d", seen, ds.Len())
+	}
+}

@@ -64,7 +64,7 @@ func ECG(opts Options) (*ECGResult, error) {
 	hetero.Transform = core.RandomGaussianFilter(0.5, 2.5)
 
 	evalRig := func(srv Trainer) (deviation, spread float64) {
-		net := srv.GlobalNet()
+		inf := nn.EvalView(srv.GlobalNet())
 		windows, truths := ecg.PairedRecordings(opts.scaled(60), frand.New(opts.Seed^0xeca))
 		var devSum, sprSum float64
 		n := 0
@@ -73,7 +73,7 @@ func ECG(opts Options) (*ECGResult, error) {
 			for _, w := range row {
 				x := tensor.New(1, w.Size())
 				copy(x.Data(), w.Data())
-				out := net.Forward(x, false)
+				out := inf.Infer(x)
 				preds = append(preds, ecg.DenormalizeHR(out.At(0, 0)))
 			}
 			truth := truths[i]

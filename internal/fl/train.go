@@ -7,21 +7,16 @@ import (
 	"heteroswitch/internal/tensor"
 )
 
-// evalBatch runs one loss evaluation on samples [lo, hi), batching through
-// the pooled dataset.BatchScratch (shared with the eval-side harnesses in
-// internal/metrics). When the loss supports LossInto the gradient lands in a
-// recycled scratch buffer; the caller may pass it to net.Backward before the
-// next batch.
-func evalBatch(bs *dataset.BatchScratch, net *nn.Network, loss nn.Loss, ds *dataset.Dataset,
-	lo, hi int, train bool) (float64, *tensor.Tensor) {
+// trainBatch runs one training-mode loss evaluation on samples [lo, hi),
+// batching through the pooled dataset.BatchScratch (shared with the
+// eval-side harnesses in internal/metrics). When the loss supports LossInto
+// the gradient lands in a recycled scratch buffer; the caller may pass it to
+// net.Backward before the next batch.
+func trainBatch(bs *dataset.BatchScratch, net *nn.Network, loss nn.Loss, ds *dataset.Dataset,
+	lo, hi int) (float64, *tensor.Tensor) {
 	x, y, labels := bs.Next(ds, lo, hi)
-	var target nn.Target
-	if y != nil {
-		target = nn.DenseTarget(y)
-	} else {
-		target = nn.ClassTarget(labels)
-	}
-	out := net.Forward(x, train)
+	target := batchTarget(y, labels)
+	out := net.Forward(x, true)
 	if li, ok := loss.(nn.LossInto); ok {
 		grad := bs.Alloc(out.Shape()...)
 		return li.EvalInto(grad, out, target), grad
@@ -29,20 +24,38 @@ func evalBatch(bs *dataset.BatchScratch, net *nn.Network, loss nn.Loss, ds *data
 	return loss.Eval(out, target)
 }
 
+// batchTarget wraps a BatchScratch window's targets: dense for multi-label,
+// class indices otherwise.
+func batchTarget(y *tensor.Tensor, labels []int) nn.Target {
+	if y != nil {
+		return nn.DenseTarget(y)
+	}
+	return nn.ClassTarget(labels)
+}
+
 // EvalLoss computes the mean loss of the network on ds in inference mode —
-// L_init in Algorithm 1 terms. It handles both single- and multi-label data.
+// L_init in Algorithm 1 terms. It handles both single- and multi-label data
+// and forwards through one frozen inference replica (nn.EvalView): BN
+// folded to the running statistics, activations fused, no backward caches.
 func EvalLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) float64 {
 	if ds.Len() == 0 {
 		return 0
 	}
+	inf := nn.EvalView(net)
 	bs := dataset.GetBatchScratch()
 	defer dataset.PutBatchScratch(bs)
 	var total float64
-	for lo := 0; lo < ds.Len(); lo += batch {
-		hi := min(lo+batch, ds.Len())
-		l, _ := evalBatch(bs, net, loss, ds, lo, hi, false)
+	bs.ForBatches(ds, batch, func(lo, hi int, x, y *tensor.Tensor, labels []int) {
+		out := inf.Infer(x)
+		target := batchTarget(y, labels)
+		var l float64
+		if li, ok := loss.(nn.LossInto); ok {
+			l = li.EvalInto(bs.Alloc(out.Shape()...), out, target)
+		} else {
+			l, _ = loss.Eval(out, target)
+		}
 		total += l * float64(hi-lo)
-	}
+	})
 	return total / float64(ds.Len())
 }
 
@@ -86,7 +99,7 @@ func TrainLocal(net *nn.Network, ds *dataset.Dataset, cfg Config, loss nn.Loss,
 		}
 		for lo := 0; lo < shuffled.Len(); lo += cfg.BatchSize {
 			hi := min(lo+cfg.BatchSize, shuffled.Len())
-			l, gradT := evalBatch(bs, net, loss, shuffled, lo, hi, true)
+			l, gradT := trainBatch(bs, net, loss, shuffled, lo, hi)
 			net.Backward(gradT)
 			if stepHook != nil {
 				stepHook(params)

@@ -14,72 +14,82 @@ import (
 )
 
 // Accuracy returns the single-label classification accuracy of net on ds,
-// evaluated in inference mode with the given batch size. Batches recycle
-// through the pooled dataset.BatchScratch, so sweeps over many devices or
-// degrees allocate no per-batch buffers.
+// evaluated with the given batch size through one frozen inference replica
+// (nn.EvalView: BN folded, activations fused; the reference forward when
+// fused eval is disabled). Batches recycle through the pooled
+// dataset.BatchScratch, so sweeps over many devices or degrees allocate no
+// per-batch buffers.
 func Accuracy(net *nn.Network, ds *dataset.Dataset, batch int) float64 {
 	if ds.Len() == 0 {
 		return 0
 	}
 	bs := dataset.GetBatchScratch()
 	defer dataset.PutBatchScratch(bs)
+	return accuracyOn(nn.EvalView(net), bs, ds, batch)
+}
+
+// accuracyOn is the shared accuracy loop: one inference surface, one
+// scratch, one dataset.
+func accuracyOn(inf nn.Inference, bs *dataset.BatchScratch, ds *dataset.Dataset, batch int) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
 	correct := 0
-	for lo := 0; lo < ds.Len(); lo += batch {
-		hi := lo + batch
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		x, _, labels := bs.Next(ds, lo, hi)
+	bs.ForBatches(ds, batch, func(lo, hi int, x, _ *tensor.Tensor, labels []int) {
 		if labels == nil {
 			// Multi-label data has no single label to match (Sample.Label is
 			// -1); every prediction counts as wrong, matching the previous
 			// ds.Batch behaviour. Use MeanAveragePrecision for these sets.
-			continue
+			return
 		}
-		pred := net.Forward(x, false).ArgMaxRows()
+		pred := inf.Infer(x).ArgMaxRows()
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++
 			}
 		}
-	}
+	})
 	return float64(correct) / float64(ds.Len())
 }
 
 // MeanLoss returns the mean loss of net on ds without updating anything —
-// the quantity HeteroSwitch compares against its EMA (L_init).
+// the quantity HeteroSwitch compares against its EMA (L_init). Like
+// Accuracy it forwards through one frozen replica per evaluation.
 func MeanLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) float64 {
 	if ds.Len() == 0 {
 		return 0
 	}
+	inf := nn.EvalView(net)
 	bs := dataset.GetBatchScratch()
 	defer dataset.PutBatchScratch(bs)
 	var total float64
 	var count int
-	for lo := 0; lo < ds.Len(); lo += batch {
-		hi := lo + batch
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
+	bs.ForBatches(ds, batch, func(lo, hi int, x, y *tensor.Tensor, labels []int) {
 		var l float64
-		x, y, labels := bs.Next(ds, lo, hi)
 		if y != nil {
-			l, _ = loss.Eval(net.Forward(x, false), nn.DenseTarget(y))
+			l, _ = loss.Eval(inf.Infer(x), nn.DenseTarget(y))
 		} else {
-			l, _ = loss.Eval(net.Forward(x, false), nn.ClassTarget(labels))
+			l, _ = loss.Eval(inf.Infer(x), nn.ClassTarget(labels))
 		}
 		total += l * float64(hi-lo)
 		count += hi - lo
-	}
+	})
 	return total / float64(count)
 }
 
 // PerDeviceAccuracy evaluates accuracy separately on each device's test
-// samples, keyed by device index.
+// samples, keyed by device index. One frozen replica and one pooled batch
+// scratch serve every device's sweep.
 func PerDeviceAccuracy(net *nn.Network, ds *dataset.Dataset, batch int) map[int]float64 {
 	out := map[int]float64{}
+	if ds.Len() == 0 {
+		return out
+	}
+	inf := nn.EvalView(net)
+	bs := dataset.GetBatchScratch()
+	defer dataset.PutBatchScratch(bs)
 	for dev, sub := range ds.ByDevice() {
-		out[dev] = Accuracy(net, sub, batch)
+		out[dev] = accuracyOn(inf, bs, sub, batch)
 	}
 	return out
 }
@@ -211,24 +221,21 @@ func MeanAveragePrecision(scores, labels *tensor.Tensor) float64 {
 	return sum / float64(classes)
 }
 
-// MultiLabelScores runs the network over a multi-label dataset and returns
-// the raw score matrix alongside the label matrix.
+// MultiLabelScores runs the network over a multi-label dataset through one
+// frozen inference replica and returns the raw score matrix alongside the
+// label matrix.
 func MultiLabelScores(net *nn.Network, ds *dataset.Dataset, batch int) (scores, labels *tensor.Tensor) {
 	n := ds.Len()
 	scores = tensor.New(n, ds.NumClasses)
 	labels = tensor.New(n, ds.NumClasses)
+	inf := nn.EvalView(net)
 	bs := dataset.GetBatchScratch()
 	defer dataset.PutBatchScratch(bs)
-	for lo := 0; lo < n; lo += batch {
-		hi := lo + batch
-		if hi > n {
-			hi = n
-		}
-		x, y, _ := bs.Next(ds, lo, hi)
-		out := net.Forward(x, false)
+	bs.ForBatches(ds, batch, func(lo, hi int, x, y *tensor.Tensor, _ []int) {
+		out := inf.Infer(x)
 		copy(scores.Data()[lo*ds.NumClasses:hi*ds.NumClasses], out.Data())
 		copy(labels.Data()[lo*ds.NumClasses:hi*ds.NumClasses], y.Data())
-	}
+	})
 	return scores, labels
 }
 

@@ -174,3 +174,77 @@ func TestAccuracyEmptyDataset(t *testing.T) {
 		t.Fatal("empty dataset accuracy should be 0")
 	}
 }
+
+// makeConvEvalFixture builds a small BN-bearing conv classifier and a
+// device-tagged dataset, briefly trained so the BN running statistics and
+// weights are non-trivial — the fixture for fused-vs-reference routing.
+func makeConvEvalFixture() (*nn.Network, *dataset.Dataset) {
+	r := frand.New(6)
+	ds := &dataset.Dataset{NumClasses: 3}
+	for i := 0; i < 26; i++ {
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X: tensor.Randn(r, 0.8, 2, 6, 6), Label: i % 3, Device: i % 2,
+		})
+	}
+	net := nn.NewNetwork(
+		nn.NewConv2D(r, 2, 6, 3, 1, 1, 1),
+		nn.NewBatchNorm2D(6),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(r, 6, 3),
+	)
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	for e := 0; e < 5; e++ {
+		x, labels := ds.Batch(0, ds.Len())
+		out := net.Forward(x, true)
+		_, grad := nn.SoftmaxCrossEntropy{}.Eval(out, nn.ClassTarget(labels))
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	return net, ds
+}
+
+// TestFusedEvalMatchesReference: every metrics entry point must return
+// identical decisions (accuracy, per-device accuracy) and near-identical
+// losses whether it routes through the frozen fast path or the reference
+// forward — the -fused-eval A/B contract.
+func TestFusedEvalMatchesReference(t *testing.T) {
+	net, ds := makeConvEvalFixture()
+	fusedAcc := Accuracy(net, ds, 7)
+	fusedPer := PerDeviceAccuracy(net, ds, 7)
+	fusedLoss := MeanLoss(net, nn.SoftmaxCrossEntropy{}, ds, 7)
+
+	nn.SetFusedEval(false)
+	defer nn.SetFusedEval(true)
+	refAcc := Accuracy(net, ds, 7)
+	refPer := PerDeviceAccuracy(net, ds, 7)
+	refLoss := MeanLoss(net, nn.SoftmaxCrossEntropy{}, ds, 7)
+
+	if fusedAcc != refAcc {
+		t.Fatalf("fused accuracy %v != reference %v (argmax must be identical)", fusedAcc, refAcc)
+	}
+	if len(fusedPer) != len(refPer) {
+		t.Fatalf("per-device map sizes differ: %d vs %d", len(fusedPer), len(refPer))
+	}
+	for dev, acc := range refPer {
+		if fusedPer[dev] != acc {
+			t.Fatalf("device %d: fused %v != reference %v", dev, fusedPer[dev], acc)
+		}
+	}
+	if d := math.Abs(fusedLoss - refLoss); d > 1e-5 {
+		t.Fatalf("fused mean loss diverges from reference by %.3g", d)
+	}
+}
+
+// TestPerDeviceAccuracyMatchesPerSubsetAccuracy pins the shared-iterator
+// refactor: the per-device sweep on one scratch + one frozen replica must
+// equal running Accuracy per device subset.
+func TestPerDeviceAccuracyMatchesPerSubsetAccuracy(t *testing.T) {
+	net, ds := makeConvEvalFixture()
+	per := PerDeviceAccuracy(net, ds, 5)
+	for dev, sub := range ds.ByDevice() {
+		if want := Accuracy(net, sub, 5); per[dev] != want {
+			t.Fatalf("device %d: PerDeviceAccuracy %v != Accuracy on subset %v", dev, per[dev], want)
+		}
+	}
+}

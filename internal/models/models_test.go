@@ -175,3 +175,92 @@ func TestECGConvNet(t *testing.T) {
 		t.Fatal("NaN after step")
 	}
 }
+
+// TestFrozenMatchesReferencePerArch is the model-level frozen-vs-reference
+// contract: for every architecture in the registry (and the ECG conv
+// regressor), a few training steps move the weights and BN running
+// statistics, then the frozen inference view must match the reference eval
+// forward within 1e-5 max-abs with identical argmax rows. SqueezeNet has no
+// BatchNorm, so its frozen forward must be bit-exact.
+func TestFrozenMatchesReferencePerArch(t *testing.T) {
+	archs := []struct {
+		arch  Arch
+		exact bool
+	}{
+		{ArchMobileNet, false},
+		{ArchShuffleNet, false},
+		{ArchSqueezeNet, true}, // no BN anywhere: pure fusion, tol 0
+		{ArchSimpleCNN, false},
+	}
+	for _, tc := range archs {
+		t.Run(string(tc.arch), func(t *testing.T) {
+			builder, err := BuilderFor(tc.arch, 11, 3, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := builder()
+			r := frand.New(4)
+			opt := nn.NewSGD(0.01, 0.9, 0)
+			for step := 0; step < 4; step++ {
+				x := tensor.Randn(r, 1, 4, 3, 32, 32)
+				labels := []int{step % 12, (step + 3) % 12, (step + 5) % 12, (step + 7) % 12}
+				out := net.Forward(x, true)
+				_, grad := nn.SoftmaxCrossEntropy{}.Eval(out, nn.ClassTarget(labels))
+				net.Backward(grad)
+				opt.Step(net.Params())
+			}
+			x := tensor.Randn(r, 1, 5, 3, 32, 32)
+			want := net.Forward(x, false).Clone()
+			got := net.Freeze().Infer(x).Clone()
+			var maxd float64
+			for i, v := range got.Data() {
+				d := float64(v) - float64(want.Data()[i])
+				if d < 0 {
+					d = -d
+				}
+				if d > maxd {
+					maxd = d
+				}
+				if tc.exact && v != want.Data()[i] {
+					t.Fatalf("BN-free arch must be bit-exact; element %d: %v != %v", i, v, want.Data()[i])
+				}
+			}
+			if maxd > 1e-5 {
+				t.Fatalf("frozen output diverges: max-abs %.3g > 1e-5", maxd)
+			}
+			wantArg, gotArg := want.ArgMaxRows(), got.ArgMaxRows()
+			for i := range wantArg {
+				if gotArg[i] != wantArg[i] {
+					t.Fatalf("argmax differs at row %d: frozen %d, reference %d", i, gotArg[i], wantArg[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFrozenECGConvNet covers the Reshape-fronted 1-D conv regressor.
+func TestFrozenECGConvNet(t *testing.T) {
+	net := ECGConvNet(frand.New(9), 64)
+	r := frand.New(10)
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	for step := 0; step < 3; step++ {
+		x := tensor.Randn(r, 1, 4, 64)
+		target := tensor.Randn(r, 1, 4, 1)
+		out := net.Forward(x, true)
+		_, grad := nn.MSE{}.Eval(out, nn.DenseTarget(target))
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	x := tensor.Randn(r, 1, 3, 64)
+	want := net.Forward(x, false).Clone()
+	got := net.Freeze().Infer(x)
+	for i, v := range got.Data() {
+		d := float64(v) - float64(want.Data()[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-5 {
+			t.Fatalf("frozen ECG output diverges at %d: %.3g", i, d)
+		}
+	}
+}

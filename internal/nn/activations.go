@@ -6,6 +6,16 @@ import (
 	"heteroswitch/internal/tensor"
 )
 
+// sigmoid64 is the one logistic implementation in this package: every
+// sigmoid consumer — the Sigmoid layer, BCEWithLogits, and the fused
+// inference epilogues — routes through it, so the numerics live in exactly
+// one place.
+func sigmoid64(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// sigmoid32 is sigmoid64 round-tripped through float32, the elementwise form
+// used on tensor data.
+func sigmoid32(v float32) float32 { return float32(sigmoid64(float64(v))) }
+
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	arenaScratch
@@ -170,7 +180,7 @@ func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := l.allocUninit(x.Shape()...)
 	xd, yd := x.Data(), y.Data()
 	for i, v := range xd {
-		yd[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		yd[i] = sigmoid32(v)
 	}
 	l.y = y
 	return y

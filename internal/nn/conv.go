@@ -242,8 +242,10 @@ func (l *Conv2D) backwardRows(gd []float32, lo, hi int) {
 }
 
 // backwardIter computes one sample×group input-gradient iteration:
-// dcol = Wgᵀ @ dy (row-parallel under par), scattered back to dx via Col2Im.
-// The transposed-A kernel reads Wg in place instead of materializing Wgᵀ.
+// dcol = Wgᵀ @ dy (row-parallel under par), scattered back to dx via the
+// column-blocked Col2ImP (parallel over disjoint image columns under the
+// same budget — the single-iteration case where par > 1). The transposed-A
+// kernel reads Wg in place instead of materializing Wgᵀ.
 func (l *Conv2D) backwardIter(it, par int, dcol, gd, dxd []float32) {
 	d := l.dims
 	cols := d.ColCols()
@@ -262,7 +264,7 @@ func (l *Conv2D) backwardIter(it, par int, dcol, gd, dxd []float32) {
 	clear(dcol)
 	tensor.MatMulTransAAccSlicesP(par, dcol, wg, dy, gcOut, fanIn, cols)
 	dimg := dxd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
-	tensor.Col2Im(dimg, dcol, d)
+	tensor.Col2ImP(par, dimg, dcol, d)
 }
 
 // convRowTask is the parallel.Runner for the weight/bias gradient rows.

@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"heteroswitch/internal/tensor"
+)
+
+// Frozen is a compiled inference-only view of a Network: the layer list is
+// flattened (nested Networks inline), every BatchNorm2D that directly
+// follows a Conv2D or Dense is folded into that layer's weights and bias
+// (using the RUNNING statistics, so no batch reduction runs at all), and the
+// activation that follows a matmul layer is fused into the kernel as a row
+// epilogue. No op caches anything for a backward pass, so the frozen forward
+// touches strictly less memory than Network.Forward(x, false).
+//
+// A frozen view shares its source network's arena and intra-op budget like
+// any layer: Infer resets the arena exactly like Network.Forward (outputs
+// are valid until the next Forward/Infer on the same network), and every
+// fused kernel, pooling loop, activation sweep, and the residual (unfolded)
+// BatchNorm eval path splits its work under the budget via
+// internal/parallel. Like Network, a Frozen is not safe for concurrent use;
+// freeze one replica per goroutine.
+//
+// Numerical contract: BN folding reorders float operations, so a frozen
+// forward matches the reference eval forward to a small tolerance (≤ 1e-5
+// max-abs on the test fixtures) rather than bit-exactly; networks without
+// folded BN (pure fusion) are bit-identical. At a FIXED weight state the
+// frozen forward is itself bit-identical across intra-op budgets, because
+// chunks own disjoint output rows and epilogues are row-local.
+type Frozen struct {
+	net *Network
+	ops []frozenOp
+}
+
+// frozenOp is one step of the compiled inference program.
+type frozenOp interface {
+	infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor
+}
+
+// refolder is implemented by ops that cache weights derived from trainable
+// parameters (folded conv/dense, the standalone BN scale/shift) and by
+// composites that contain such ops. Freeze re-runs refold on every call so a
+// cached Frozen always reflects the network's current weights.
+type refolder interface {
+	refold()
+}
+
+// Freeze returns the network's cached inference view, compiling it on first
+// use and re-folding the BatchNorm weights on every call so the view tracks
+// the current parameters. The architecture must not change after the first
+// Freeze (layers are compiled once); weights may change freely between
+// calls. Typical use: freeze once per evaluation pass, run every batch
+// through the frozen view.
+func (n *Network) Freeze() *Frozen {
+	if n.frozen == nil {
+		n.frozen = &Frozen{net: n, ops: compileOps(flattenLayers(n.LayerList, nil))}
+	}
+	refoldOps(n.frozen.ops)
+	return n.frozen
+}
+
+// Infer runs the compiled inference program. When the network owns its
+// arena, the arena is reset first — identical lifetime contract to
+// Network.Forward: the returned tensor is valid until the next Forward or
+// Infer on this network.
+func (f *Frozen) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if f.net.ownsArena && f.net.arena != nil {
+		f.net.arena.Reset()
+	}
+	return runOps(f, f.ops, x)
+}
+
+// alloc returns an uninitialized per-batch tensor from the shared arena
+// (tensor.New without an arena), mirroring arenaScratch.allocUninit.
+func (f *Frozen) alloc(shape ...int) *tensor.Tensor {
+	if a := f.net.arena; a != nil {
+		return a.GetUninit(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// budget returns the network's intra-op budget (at least 1).
+func (f *Frozen) budget() int {
+	if f.net.intraOp < 1 {
+		return 1
+	}
+	return f.net.intraOp
+}
+
+// runOps threads x through a compiled op sequence.
+func runOps(f *Frozen, ops []frozenOp, x *tensor.Tensor) *tensor.Tensor {
+	for _, op := range ops {
+		x = op.infer(f, x)
+	}
+	return x
+}
+
+// refoldOps re-derives every cached folded weight in an op sequence.
+func refoldOps(ops []frozenOp) {
+	for _, op := range ops {
+		if r, ok := op.(refolder); ok {
+			r.refold()
+		}
+	}
+}
+
+// Fused-eval toggle -----------------------------------------------------------
+
+// fusedEvalOff is the process-wide kill switch for the frozen fast path
+// (zero value = fused eval ENABLED, the default). It exists so the
+// -fused-eval=false CLI flag can force every evaluation back onto the
+// reference layer-by-layer forward for A/B comparison.
+var fusedEvalOff atomic.Bool
+
+// SetFusedEval enables or disables the frozen inference fast path for every
+// subsequent EvalView call. Fused eval is on by default.
+func SetFusedEval(enabled bool) { fusedEvalOff.Store(!enabled) }
+
+// FusedEval reports whether EvalView routes through Freeze.
+func FusedEval() bool { return !fusedEvalOff.Load() }
+
+// Inference is the forward-only surface shared by *Network and *Frozen —
+// what evaluation loops (metrics, fl.EvalLoss, the experiment sweeps)
+// consume, so one loop serves both the fused and the reference path.
+type Inference interface {
+	Infer(x *tensor.Tensor) *tensor.Tensor
+}
+
+// Infer implements Inference as the reference eval forward.
+func (n *Network) Infer(x *tensor.Tensor) *tensor.Tensor { return n.Forward(x, false) }
+
+// EvalView returns the surface an evaluation pass should forward through:
+// one frozen replica of the network when fused eval is enabled (the
+// default), the network's reference forward otherwise.
+func EvalView(n *Network) Inference {
+	if FusedEval() {
+		return n.Freeze()
+	}
+	return n
+}
+
+// Compilation -----------------------------------------------------------------
+
+// flattenLayers expands nested *Network layers into one linear sequence, so
+// conv→BN→activation runs fold even when they straddle a sub-network
+// boundary (convBNAct builds exactly that shape).
+func flattenLayers(layers []Layer, out []Layer) []Layer {
+	for _, l := range layers {
+		if sub, ok := l.(*Network); ok {
+			out = flattenLayers(sub.LayerList, out)
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// actKindOf maps activation layers onto their fused epilogue kind.
+func actKindOf(l Layer) (epAct, bool) {
+	switch l.(type) {
+	case *ReLU:
+		return epReLU, true
+	case *HardSwish:
+		return epHardSwish, true
+	case *HardSigmoid:
+		return epHardSigmoid, true
+	case *Sigmoid:
+		return epSigmoid, true
+	}
+	return epNone, false
+}
+
+// compileOps turns a flattened layer sequence into the inference program,
+// folding BN and fusing activations as it scans.
+func compileOps(flat []Layer) []frozenOp {
+	var ops []frozenOp
+	peek := func(i int) Layer {
+		if i < len(flat) {
+			return flat[i]
+		}
+		return nil
+	}
+	for i := 0; i < len(flat); i++ {
+		switch l := flat[i].(type) {
+		case *Conv2D:
+			op := &frozenConv{l: l}
+			if bn, ok := peek(i + 1).(*BatchNorm2D); ok {
+				if bn.C != l.OutC {
+					panic(fmt.Sprintf("nn: Freeze: BatchNorm2D(%d) cannot fold into %s", bn.C, l.Name()))
+				}
+				op.bn = bn
+				i++
+			}
+			if act, ok := actKindOf(peek(i + 1)); ok {
+				op.act = act
+				i++
+			}
+			op.build()
+			ops = append(ops, op)
+		case *Dense:
+			op := &frozenDense{l: l}
+			if bn, ok := peek(i + 1).(*BatchNorm2D); ok {
+				if bn.C != l.Out {
+					panic(fmt.Sprintf("nn: Freeze: BatchNorm2D(%d) cannot fold into %s", bn.C, l.Name()))
+				}
+				op.bn = bn
+				i++
+			}
+			if act, ok := actKindOf(peek(i + 1)); ok {
+				op.act = act
+				i++
+			}
+			op.build()
+			ops = append(ops, op)
+		case *BatchNorm2D:
+			// The residual case: a BN not preceded by a matmul layer
+			// (after a Residual sum, pooling, ...) stays a standalone op
+			// on the running statistics.
+			op := &frozenBN{l: l, scale: make([]float32, l.C), shift: make([]float32, l.C)}
+			ops = append(ops, op)
+		case *ReLU:
+			ops = append(ops, &frozenAct{kind: epReLU})
+		case *HardSwish:
+			ops = append(ops, &frozenAct{kind: epHardSwish})
+		case *HardSigmoid:
+			ops = append(ops, &frozenAct{kind: epHardSigmoid})
+		case *Sigmoid:
+			ops = append(ops, &frozenAct{kind: epSigmoid})
+		case *MaxPool2D:
+			ops = append(ops, &frozenMaxPool{k: l.K, stride: l.Stride})
+		case *AvgPool2D:
+			ops = append(ops, &frozenAvgPool{k: l.K, stride: l.Stride})
+		case *GlobalAvgPool:
+			ops = append(ops, &frozenGAP{})
+		case *SEBlock:
+			ops = append(ops, newFrozenSE(l))
+		case *Residual:
+			ops = append(ops, &frozenResidual{
+				body: compileLayerOps(l.Body),
+				proj: compileLayerOps(l.Proj),
+			})
+		case *Parallel:
+			op := &frozenParallel{l: l}
+			for _, b := range l.Branches {
+				op.branches = append(op.branches, compileLayerOps(b))
+			}
+			op.outCs = make([]int, len(l.Branches))
+			op.outs = make([]*tensor.Tensor, len(l.Branches))
+			ops = append(ops, op)
+		case *Dropout, *Identity:
+			// Identity in eval mode: compiles to nothing.
+		default:
+			// Pure view/permutation layers (Flatten, Reshape,
+			// ChannelShuffle) and any layer type this compiler does not
+			// know: their eval forward has no backward cache worth
+			// skipping, so delegate to it.
+			ops = append(ops, &frozenWrap{l: l})
+		}
+	}
+	return ops
+}
+
+// compileLayerOps freezes a single composite child (which may itself be a
+// Network, a composite block, or a bare layer).
+func compileLayerOps(l Layer) []frozenOp {
+	return compileOps(flattenLayers([]Layer{l}, nil))
+}
+
+// BN folding math -------------------------------------------------------------
+
+// bnScaleShift returns the per-channel affine form of a BatchNorm eval pass
+// on the running statistics: y = scale·x + shift with
+// scale = γ/√(var+ε), shift = β − scale·mean.
+func bnScaleShift(bn *BatchNorm2D, c int) (scale, shift float32) {
+	s := float32(float64(bn.Gamma.W.Data()[c]) / math.Sqrt(float64(bn.RunVar.Data()[c])+bn.Eps))
+	return s, bn.Beta.W.Data()[c] - s*bn.RunMean.Data()[c]
+}

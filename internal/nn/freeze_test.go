@@ -1,0 +1,425 @@
+package nn_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/tensor"
+)
+
+// The frozen inference fast path folds BatchNorm into the preceding matmul
+// layer and fuses activations into kernel epilogues. Folding reorders float
+// operations, so the contract is tolerance-based: frozen output within 1e-5
+// max-abs of the reference eval forward and IDENTICAL argmax predictions on
+// every fixture. At a fixed weight state the frozen forward itself must be
+// bit-identical across intra-op budgets (chunks own disjoint rows and
+// epilogues are row-local), which doubles as the serial-vs-parallel tol-0
+// test for the parallel pooling, activation, and BN-eval sweeps.
+
+const frozenTol = 1e-5
+
+// frozenFixture is one block-coverage case: a network builder plus its
+// input channel count.
+type frozenFixture struct {
+	name string
+	inC  int
+	net  func(r *frand.RNG) *nn.Network
+}
+
+func frozenFixtures() []frozenFixture {
+	return []frozenFixture{
+		{"conv-bn-relu-maxpool", 3, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
+				nn.NewBatchNorm2D(8),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2, 2),
+				nn.NewFlatten(),
+				nn.NewDense(r, 8*4*4, 5),
+			)
+		}},
+		{"conv-bn-hswish-strided", 3, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 3, 2, 1, 1),
+				nn.NewBatchNorm2D(8),
+				nn.NewHardSwish(),
+				nn.NewFlatten(),
+				nn.NewDense(r, 8*4*4, 5),
+			)
+		}},
+		{"grouped-conv-bn", 4, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewConv2D(r, 4, 8, 3, 1, 1, 2),
+				nn.NewBatchNorm2D(8),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
+		{"depthwise-conv-bn", 6, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewDepthwiseConv2D(r, 6, 3, 1, 1),
+				nn.NewBatchNorm2D(6),
+				nn.NewHardSwish(),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 6, 5),
+			)
+		}},
+		{"dense-sigmoid-dropout", 3, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewFlatten(),
+				nn.NewDense(r, 3*8*8, 16),
+				nn.NewSigmoid(),
+				nn.NewDropout(r.SplitNamed("drop"), 0.3),
+				nn.NewDense(r, 16, 5),
+			)
+		}},
+		{"residual-proj-standalone-bn", 3, func(r *frand.RNG) *nn.Network {
+			body := nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
+				nn.NewBatchNorm2D(8),
+				nn.NewReLU(),
+				nn.NewConv2D(r, 8, 8, 3, 1, 1, 1),
+				nn.NewBatchNorm2D(8),
+			)
+			proj := nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 1, 1, 0, 1),
+				nn.NewBatchNorm2D(8),
+			)
+			return nn.NewNetwork(
+				nn.NewResidual(body, proj),
+				nn.NewReLU(), // standalone activation (after a sum)
+				nn.NewMaxPool2D(2, 2),
+				nn.NewBatchNorm2D(8), // the residual BN eval path: no matmul precedes it
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
+		{"seblock", 3, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
+				nn.NewBatchNorm2D(8),
+				nn.NewHardSwish(),
+				nn.NewSEBlock(r, 8, 4),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
+		{"parallel-split-shuffle", 3, func(r *frand.RNG) *nn.Network {
+			branch := nn.NewNetwork(
+				nn.NewConv2D(r, 4, 4, 3, 1, 1, 1),
+				nn.NewBatchNorm2D(4),
+				nn.NewReLU(),
+			)
+			return nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 1, 1, 0, 1),
+				nn.NewReLU(),
+				nn.NewParallel(true, nn.NewIdentity(), branch),
+				nn.NewChannelShuffle(2),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
+		{"parallel-concat-hsig", 3, func(r *frand.RNG) *nn.Network {
+			b1 := nn.NewNetwork(nn.NewConv2D(r, 3, 4, 1, 1, 0, 1), nn.NewReLU())
+			b2 := nn.NewNetwork(nn.NewConv2D(r, 3, 4, 3, 1, 1, 1), nn.NewHardSigmoid())
+			return nn.NewNetwork(
+				nn.NewParallel(false, b1, b2),
+				nn.NewAvgPool2D(2, 2),
+				nn.NewFlatten(),
+				nn.NewDense(r, 8*4*4, 5),
+			)
+		}},
+		{"nested-networks", 3, func(r *frand.RNG) *nn.Network {
+			return nn.NewNetwork(
+				nn.NewNetwork(
+					nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
+					nn.NewBatchNorm2D(8),
+					nn.NewHardSwish(),
+				),
+				nn.NewNetwork(
+					nn.NewConv2D(r, 8, 8, 3, 2, 1, 1),
+					nn.NewBatchNorm2D(8),
+					nn.NewReLU(),
+				),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
+	}
+}
+
+// trainFixture runs a few SGD steps so weights move and the BN running
+// statistics leave their initialization.
+func trainFixture(net *nn.Network, r *frand.RNG, inC, steps int) {
+	loss := nn.SoftmaxCrossEntropy{}
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	labels := make([]int, 4)
+	for s := 0; s < steps; s++ {
+		x := tensor.Randn(r, 1, 4, inC, 8, 8)
+		for i := range labels {
+			labels[i] = r.Intn(5)
+		}
+		out := net.Forward(x, true)
+		_, grad := loss.Eval(out, nn.ClassTarget(labels))
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestFrozenEquivalence checks the tolerance contract against the reference
+// eval forward for every block that can precede or follow a BatchNorm,
+// including a partial final batch.
+func TestFrozenEquivalence(t *testing.T) {
+	for _, fx := range frozenFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			r := frand.New(1234)
+			net := fx.net(r)
+			trainFixture(net, r, fx.inC, 6)
+			for _, batch := range []int{1, 4, 7} {
+				x := tensor.Randn(r, 1, batch, fx.inC, 8, 8)
+				want := net.Forward(x, false).Clone()
+				wantArg := want.ArgMaxRows()
+				got := net.Freeze().Infer(x).Clone()
+				if d := maxAbsDiff(got.Data(), want.Data()); d > frozenTol {
+					t.Fatalf("batch %d: frozen output diverges: max-abs %.3g > %g", batch, d, frozenTol)
+				}
+				gotArg := got.ArgMaxRows()
+				for i := range wantArg {
+					if gotArg[i] != wantArg[i] {
+						t.Fatalf("batch %d: argmax differs at row %d: frozen %d, reference %d",
+							batch, i, gotArg[i], wantArg[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFrozenTracksWeightUpdates re-freezes after further training and checks
+// the cached frozen view re-folds to the new weights.
+func TestFrozenTracksWeightUpdates(t *testing.T) {
+	fx := frozenFixtures()[0]
+	r := frand.New(99)
+	net := fx.net(r)
+	trainFixture(net, r, fx.inC, 3)
+	x := tensor.Randn(r, 1, 4, fx.inC, 8, 8)
+	first := net.Freeze().Infer(x).Clone()
+	trainFixture(net, r, fx.inC, 3)
+	want := net.Forward(x, false).Clone()
+	got := net.Freeze().Infer(x).Clone()
+	if d := maxAbsDiff(got.Data(), want.Data()); d > frozenTol {
+		t.Fatalf("re-frozen output diverges from reference: max-abs %.3g", d)
+	}
+	if maxAbsDiff(first.Data(), got.Data()) == 0 {
+		t.Fatal("frozen view did not re-fold after weights changed")
+	}
+}
+
+// TestFrozenBudgetsBitIdentical is the serial-vs-parallel tol-0 contract for
+// the frozen path: the fused matmuls, parallel pooling, activation sweeps,
+// and the standalone BN eval path must produce byte-for-byte the budget-1
+// result at every budget.
+func TestFrozenBudgetsBitIdentical(t *testing.T) {
+	for _, fx := range frozenFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			r := frand.New(4321)
+			net := fx.net(r)
+			trainFixture(net, r, fx.inC, 4)
+			x := tensor.Randn(r, 1, 5, fx.inC, 8, 8)
+			net.SetIntraOp(1)
+			want := net.Freeze().Infer(x).Clone()
+			for _, par := range []int{2, 3, 4, 8} {
+				net.SetIntraOp(par)
+				got := net.Freeze().Infer(x)
+				for i, v := range got.Data() {
+					if v != want.Data()[i] {
+						t.Fatalf("budget %d: element %d differs: %v != %v (must be bit-identical)",
+							par, i, v, want.Data()[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFrozenSingleSampleUsesKernelBudget covers the iters==1 route where the
+// whole budget is handed to the fused row-parallel matmul and the
+// column-blocked Col2ImP geometry inside conv backward stays untouched.
+func TestFrozenSingleSampleUsesKernelBudget(t *testing.T) {
+	r := frand.New(7)
+	net := nn.NewNetwork(
+		nn.NewConv2D(r, 3, 16, 3, 1, 1, 1),
+		nn.NewBatchNorm2D(16),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(r, 16, 5),
+	)
+	trainFixture(net, r, 3, 3)
+	x := tensor.Randn(r, 1, 1, 3, 8, 8)
+	net.SetIntraOp(1)
+	want := net.Freeze().Infer(x).Clone()
+	for _, par := range []int{2, 4, 8} {
+		net.SetIntraOp(par)
+		got := net.Freeze().Infer(x)
+		for i, v := range got.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("budget %d: single-sample frozen forward not bit-identical at %d", par, i)
+			}
+		}
+	}
+}
+
+// TestFrozenConcurrentReplicas runs one frozen replica per goroutine — the
+// server-worker shape — under the shared worker pool; with -race this is the
+// concurrency lane for the frozen forward.
+func TestFrozenConcurrentReplicas(t *testing.T) {
+	build := func() *nn.Network {
+		r := frand.New(55)
+		return nn.NewNetwork(
+			nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
+			nn.NewBatchNorm2D(8),
+			nn.NewHardSwish(),
+			nn.NewSEBlock(r, 8, 4),
+			nn.NewGlobalAvgPool(),
+			nn.NewDense(r, 8, 5),
+		)
+	}
+	ref := build()
+	refIn := tensor.Randn(frand.New(66), 1, 4, 3, 8, 8)
+	want := ref.Freeze().Infer(refIn).Clone()
+
+	const workers = 4
+	outs := make([]*tensor.Tensor, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			net := build()
+			net.SetIntraOp(2)
+			fz := net.Freeze()
+			x := tensor.Randn(frand.New(66), 1, 4, 3, 8, 8)
+			var out *tensor.Tensor
+			for rep := 0; rep < 8; rep++ {
+				out = fz.Infer(x)
+			}
+			outs[w] = out.Clone()
+		}(w)
+	}
+	wg.Wait()
+	for w, out := range outs {
+		for i, v := range out.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("worker %d: concurrent frozen forward diverged at element %d", w, i)
+			}
+		}
+	}
+}
+
+// TestEvalViewToggle checks the -fused-eval routing contract.
+func TestEvalViewToggle(t *testing.T) {
+	r := frand.New(5)
+	net := nn.NewNetwork(nn.NewFlatten(), nn.NewDense(r, 3*8*8, 4))
+	if _, ok := nn.EvalView(net).(*nn.Frozen); !ok {
+		t.Fatal("fused eval should be the default")
+	}
+	nn.SetFusedEval(false)
+	defer nn.SetFusedEval(true)
+	if _, ok := nn.EvalView(net).(*nn.Network); !ok {
+		t.Fatal("SetFusedEval(false) must route EvalView to the reference network")
+	}
+}
+
+// TestFrozenPureFusionBitIdentical: without any BatchNorm there is no float
+// reordering, so the frozen forward must match the reference eval forward
+// exactly (the SqueezeNet-shaped contract). The net covers all three conv
+// kernels of the fast path — general im2col, the direct depthwise tap loop,
+// and the lowering-free pointwise matmul — which all promise the im2col
+// matmul's per-target accumulation order.
+func TestFrozenPureFusionBitIdentical(t *testing.T) {
+	r := frand.New(31)
+	net := nn.NewNetwork(
+		nn.NewConv2D(r, 3, 8, 3, 2, 1, 1),
+		nn.NewReLU(),
+		nn.NewDepthwiseConv2D(r, 8, 3, 1, 1),
+		nn.NewHardSwish(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(r, 8, 12, 1, 1, 0, 1),
+		nn.NewHardSwish(),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(r, 12, 5),
+	)
+	trainFixture(net, r, 3, 3)
+	for _, batch := range []int{1, 4} {
+		x := tensor.Randn(r, 1, batch, 3, 8, 8)
+		want := net.Forward(x, false).Clone()
+		got := net.Freeze().Infer(x)
+		for i, v := range got.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("batch %d: BN-free frozen forward must be bit-identical, element %d: %v != %v",
+					batch, i, v, want.Data()[i])
+			}
+		}
+	}
+}
+
+// TestFrozenAllocFree: after a warm-up pass, the frozen forward performs no
+// steady-state heap allocation (arena outputs, pooled dispatch, cached
+// im2col scratch).
+func TestFrozenAllocFree(t *testing.T) {
+	fx := frozenFixtures()[0]
+	r := frand.New(77)
+	net := fx.net(r)
+	trainFixture(net, r, fx.inC, 2)
+	fz := net.Freeze()
+	x := tensor.Randn(r, 1, 4, fx.inC, 8, 8)
+	fz.Infer(x) // warm the arena and scratch
+	avg := testing.AllocsPerRun(20, func() { fz.Infer(x) })
+	if avg != 0 {
+		t.Fatalf("frozen forward allocates %.1f objects per pass in steady state, want 0", avg)
+	}
+}
+
+var sinkArg []int
+
+// BenchmarkFrozenForward compares the frozen and reference eval forwards on
+// one conv block (micro view of BenchmarkEval at the root).
+func BenchmarkFrozenForward(b *testing.B) {
+	r := frand.New(8)
+	net := nn.NewNetwork(
+		nn.NewConv2D(r, 3, 16, 3, 1, 1, 1),
+		nn.NewBatchNorm2D(16),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(r, 16, 10),
+	)
+	x := tensor.Randn(r, 1, 16, 3, 16, 16)
+	for _, mode := range []string{"fused", "reference"} {
+		b.Run(mode, func(b *testing.B) {
+			fz := net.Freeze()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "fused" {
+					sinkArg = fz.Infer(x).ArgMaxRows()
+				} else {
+					sinkArg = net.Forward(x, false).ArgMaxRows()
+				}
+			}
+		})
+	}
+}

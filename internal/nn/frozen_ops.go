@@ -1,0 +1,730 @@
+package nn
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/parallel"
+	"heteroswitch/internal/tensor"
+)
+
+// epAct identifies the activation fused into a kernel epilogue (or applied
+// by a standalone frozenAct). The scalar formulas are exactly the ones the
+// training layers use, so pure fusion (no BN fold) is bit-identical to the
+// reference eval forward.
+type epAct uint8
+
+// Fusable activations.
+const (
+	epNone epAct = iota
+	epReLU
+	epHardSwish
+	epHardSigmoid
+	epSigmoid
+)
+
+// applyBiasAct computes row[j] = act(row[j] + b) in one sweep.
+func applyBiasAct(row []float32, b float32, act epAct) {
+	switch act {
+	case epNone:
+		for j := range row {
+			row[j] += b
+		}
+	case epReLU:
+		for j := range row {
+			if v := row[j] + b; v > 0 {
+				row[j] = v
+			} else {
+				row[j] = 0
+			}
+		}
+	case epHardSwish:
+		for j := range row {
+			v := row[j] + b
+			row[j] = v * hardSigmoid(v)
+		}
+	case epHardSigmoid:
+		for j := range row {
+			row[j] = hardSigmoid(row[j] + b)
+		}
+	case epSigmoid:
+		for j := range row {
+			row[j] = sigmoid32(row[j] + b)
+		}
+	}
+}
+
+// applyVecBiasAct computes row[j] = act(row[j] + bias[j]) in one sweep — the
+// dense-layer epilogue, where the bias is per output column.
+func applyVecBiasAct(row, bias []float32, act epAct) {
+	switch act {
+	case epNone:
+		for j := range row {
+			row[j] += bias[j]
+		}
+	case epReLU:
+		for j := range row {
+			if v := row[j] + bias[j]; v > 0 {
+				row[j] = v
+			} else {
+				row[j] = 0
+			}
+		}
+	case epHardSwish:
+		for j := range row {
+			v := row[j] + bias[j]
+			row[j] = v * hardSigmoid(v)
+		}
+	case epHardSigmoid:
+		for j := range row {
+			row[j] = hardSigmoid(row[j] + bias[j])
+		}
+	case epSigmoid:
+		for j := range row {
+			row[j] = sigmoid32(row[j] + bias[j])
+		}
+	}
+}
+
+// applyAct computes yd[i] = act(xd[i]) over [lo, hi) — the standalone
+// activation sweep.
+func applyAct(yd, xd []float32, lo, hi int, act epAct) {
+	switch act {
+	case epReLU:
+		for i := lo; i < hi; i++ {
+			if v := xd[i]; v > 0 {
+				yd[i] = v
+			} else {
+				yd[i] = 0
+			}
+		}
+	case epHardSwish:
+		for i := lo; i < hi; i++ {
+			v := xd[i]
+			yd[i] = v * hardSigmoid(v)
+		}
+	case epHardSigmoid:
+		for i := lo; i < hi; i++ {
+			yd[i] = hardSigmoid(xd[i])
+		}
+	case epSigmoid:
+		for i := lo; i < hi; i++ {
+			yd[i] = sigmoid32(xd[i])
+		}
+	default:
+		copy(yd[lo:hi], xd[lo:hi])
+	}
+}
+
+// Fused conv ------------------------------------------------------------------
+
+// convEpilogue applies one group's bias + activation to a freshly computed
+// output row (= one output channel of the group). It is stateless per call,
+// so chunks may share it concurrently.
+type convEpilogue struct {
+	bias []float32 // the group's folded biases, indexed by local row
+	act  epAct
+}
+
+// Apply implements tensor.RowEpilogue.
+func (e *convEpilogue) Apply(row []float32, r int) { applyBiasAct(row, e.bias[r], e.act) }
+
+// frozenConv is Conv2D's inference op: im2col + a fused matmul whose
+// epilogue adds the (BN-folded) bias and applies the fused activation inside
+// each parallel chunk. Unlike the training layer it keeps ONE im2col scratch
+// per parallel chunk instead of caching every sample×group column matrix
+// for a backward pass — and two layer shapes skip the lowering entirely:
+//
+//   - 1×1 stride-1 unpadded convs matmul the image slice directly (the
+//     im2col matrix of such a conv IS the image, so the copy is pure waste);
+//   - depthwise groups (one input and output channel per group) run the
+//     direct tap loop tensor.DepthwiseConvPlane, whose im2col copy would
+//     cost more than the arithmetic.
+//
+// Both shortcuts accumulate in the im2col matmul's per-target order, so
+// they are bit-identical to the lowered kernel.
+type frozenConv struct {
+	l   *Conv2D
+	bn  *BatchNorm2D // folded into wf/bf when non-nil
+	act epAct
+
+	wf []float32 // effective weights: alias l.W when bn == nil, else folded copy
+	bf []float32 // effective biases: alias l.B when bn == nil, else folded copy
+
+	eps      []convEpilogue // one per group (stateless, shared by chunks)
+	dims     tensor.ConvDims
+	inH, inW int
+	cols     []float32 // per-chunk im2col scratch
+
+	// per-Run state for the parallel.Runner
+	xd, od []float32
+}
+
+// build sizes the folded buffers and the per-group epilogues.
+func (c *frozenConv) build() {
+	l := c.l
+	fanIn := (l.InC / l.Groups) * l.KH * l.KW
+	if c.bn != nil {
+		c.wf = make([]float32, l.OutC*fanIn)
+		c.bf = make([]float32, l.OutC)
+	} else {
+		c.wf = l.W.W.Data()
+		c.bf = l.B.W.Data()
+	}
+	gcOut := l.OutC / l.Groups
+	c.eps = make([]convEpilogue, l.Groups)
+	for gi := range c.eps {
+		c.eps[gi] = convEpilogue{bias: c.bf[gi*gcOut : (gi+1)*gcOut], act: c.act}
+	}
+}
+
+// refold implements refolder: W′ = W·scale, b′ = b·scale + shift per output
+// channel, with scale/shift from the BN running statistics.
+func (c *frozenConv) refold() {
+	if c.bn == nil {
+		return
+	}
+	l := c.l
+	fanIn := (l.InC / l.Groups) * l.KH * l.KW
+	wd, bd := l.W.W.Data(), l.B.W.Data()
+	for oc := 0; oc < l.OutC; oc++ {
+		s, sh := bnScaleShift(c.bn, oc)
+		row := wd[oc*fanIn : (oc+1)*fanIn]
+		frow := c.wf[oc*fanIn : (oc+1)*fanIn]
+		for j, v := range row {
+			frow[j] = v * s
+		}
+		c.bf[oc] = bd[oc]*s + sh
+	}
+}
+
+// infer implements frozenOp, mirroring Conv2D.Forward's sample×group
+// parallel loop.
+func (c *frozenConv) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	l := c.l
+	if x.NDim() != 4 || x.Dim(1) != l.InC {
+		panic(fmt.Sprintf("nn: frozen Conv2D input %v, want [N %d H W]", x.Shape(), l.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	if h != c.inH || w != c.inW {
+		d, err := tensor.NewConvDims(l.InC/l.Groups, h, w, l.KH, l.KW, l.Stride, l.Pad)
+		if err != nil {
+			panic("nn: " + err.Error())
+		}
+		c.dims, c.inH, c.inW = d, h, w
+	}
+	d := c.dims
+	rows, cols := d.ColRows(), d.ColCols()
+	g := l.Groups
+	gcOut := l.OutC / g
+	fanIn := (l.InC / g) * l.KH * l.KW
+	out := f.alloc(n, l.OutC, d.OutH, d.OutW)
+	par := f.budget()
+	iters := n * g
+	grain := parallel.GrainFor(gcOut * fanIn * cols)
+	if c.needsCol() {
+		chunks := parallel.Chunks(par, iters, grain)
+		if cap(c.cols) < chunks*rows*cols {
+			c.cols = make([]float32, chunks*rows*cols)
+		}
+		c.cols = c.cols[:chunks*rows*cols]
+	}
+	c.xd, c.od = x.Data(), out.Data()
+	if iters == 1 {
+		// One sample, one group: hand the budget to the fused row-parallel
+		// matmul instead.
+		c.inferIter(0, par, c.cols)
+	} else {
+		parallel.Run(par, iters, grain, c)
+	}
+	c.xd, c.od = nil, nil
+	return out
+}
+
+// needsCol reports whether this layer shape still requires the im2col
+// scratch (neither pointwise nor depthwise).
+func (c *frozenConv) needsCol() bool {
+	l := c.l
+	pointwise := l.KH == 1 && l.KW == 1 && l.Stride == 1 && l.Pad == 0
+	depthwise := l.Groups == l.InC && l.OutC == l.InC
+	return !pointwise && !depthwise
+}
+
+// Run implements parallel.Runner over a contiguous sample×group range; each
+// chunk owns the im2col scratch slice matching its chunk index.
+func (c *frozenConv) Run(chunk, lo, hi int) {
+	var col []float32
+	if len(c.cols) > 0 {
+		rc := c.dims.ColRows() * c.dims.ColCols()
+		col = c.cols[chunk*rc : (chunk+1)*rc]
+	}
+	for it := lo; it < hi; it++ {
+		c.inferIter(it, 1, col)
+	}
+}
+
+// inferIter runs one sample×group iteration through the cheapest kernel its
+// shape admits (see the type comment), fusing bias + activation either as
+// the matmul epilogue or as a sweep over the freshly computed plane.
+func (c *frozenConv) inferIter(it, par int, col []float32) {
+	l := c.l
+	d := c.dims
+	cols := d.ColCols()
+	g := l.Groups
+	gcIn, gcOut := l.InC/g, l.OutC/g
+	fanIn := gcIn * l.KH * l.KW
+	h, w := c.inH, c.inW
+	imgStride := l.InC * h * w
+	outStride := l.OutC * d.OutH * d.OutW
+	i, gi := it/g, it%g
+
+	img := c.xd[i*imgStride+gi*gcIn*h*w : i*imgStride+(gi+1)*gcIn*h*w]
+	wg := c.wf[gi*gcOut*fanIn : (gi+1)*gcOut*fanIn]
+	y := c.od[i*outStride+gi*gcOut*cols : i*outStride+(gi+1)*gcOut*cols]
+	switch {
+	case gcIn == 1 && gcOut == 1 && g == l.InC:
+		// Depthwise: direct tap loop on the plane, no lowering at all.
+		tensor.DepthwiseConvPlane(y, img, wg, d)
+		applyBiasAct(y, c.bf[gi], c.act)
+	case l.KH == 1 && l.KW == 1 && l.Stride == 1 && l.Pad == 0:
+		// Pointwise: the im2col matrix IS the image slice.
+		tensor.MatMulSlicesPEp(par, y, wg, img, gcOut, fanIn, cols, &c.eps[gi])
+	default:
+		tensor.Im2Col(col, img, d)
+		tensor.MatMulSlicesPEp(par, y, wg, col, gcOut, fanIn, cols, &c.eps[gi])
+	}
+}
+
+// Fused dense -----------------------------------------------------------------
+
+// denseEpilogue adds the per-column bias vector and applies the fused
+// activation to one output row (= one sample).
+type denseEpilogue struct {
+	bias []float32
+	act  epAct
+}
+
+// Apply implements tensor.RowEpilogue.
+func (e *denseEpilogue) Apply(row []float32, _ int) { applyVecBiasAct(row, e.bias, e.act) }
+
+// frozenDense is Dense's inference op: one fused matmul, bias+activation as
+// the row epilogue.
+type frozenDense struct {
+	l   *Dense
+	bn  *BatchNorm2D
+	act epAct
+
+	wf *tensor.Tensor // effective weights: alias l.W when bn == nil
+	bf []float32
+	ep denseEpilogue
+}
+
+// build sizes the folded buffers and the epilogue.
+func (d *frozenDense) build() {
+	if d.bn != nil {
+		d.wf = tensor.New(d.l.In, d.l.Out)
+		d.bf = make([]float32, d.l.Out)
+	} else {
+		d.wf = d.l.W.W
+		d.bf = d.l.B.W.Data()
+	}
+	d.ep = denseEpilogue{bias: d.bf, act: d.act}
+}
+
+// refold implements refolder: column j is scaled by the BN channel j affine.
+func (d *frozenDense) refold() {
+	if d.bn == nil {
+		return
+	}
+	in, out := d.l.In, d.l.Out
+	wd, fd := d.l.W.W.Data(), d.wf.Data()
+	bd := d.l.B.W.Data()
+	for j := 0; j < out; j++ {
+		s, sh := bnScaleShift(d.bn, j)
+		for i := 0; i < in; i++ {
+			fd[i*out+j] = wd[i*out+j] * s
+		}
+		d.bf[j] = bd[j]*s + sh
+	}
+}
+
+// infer implements frozenOp.
+func (d *frozenDense) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	if x.NDim() != 2 || x.Dim(1) != d.l.In {
+		panic(fmt.Sprintf("nn: frozen Dense input %v, want [N %d]", x.Shape(), d.l.In))
+	}
+	y := f.alloc(x.Dim(0), d.l.Out)
+	tensor.MatMulIntoPEp(f.budget(), y, x, d.wf, &d.ep)
+	return y
+}
+
+// Standalone BatchNorm --------------------------------------------------------
+
+// frozenBN is the residual BatchNorm eval path: a BN that no matmul layer
+// precedes (after a residual sum, pooling, a Parallel block). It applies the
+// running-statistics affine y = scale·x + shift, channel-parallel under the
+// intra-op budget (channels own disjoint planes, so results are
+// bit-identical at every budget).
+type frozenBN struct {
+	l            *BatchNorm2D
+	scale, shift []float32
+
+	// per-Run state
+	xd, od []float32
+	n, hw  int
+}
+
+// refold implements refolder.
+func (b *frozenBN) refold() {
+	for c := 0; c < b.l.C; c++ {
+		b.scale[c], b.shift[c] = bnScaleShift(b.l, c)
+	}
+}
+
+// infer implements frozenOp.
+func (b *frozenBN) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(1) != b.l.C {
+		panic(fmt.Sprintf("nn: frozen BatchNorm2D input %v, want [N %d H W]", x.Shape(), b.l.C))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	out := f.alloc(x.Shape()...)
+	b.xd, b.od, b.n, b.hw = x.Data(), out.Data(), n, h*w
+	parallel.Run(f.budget(), b.l.C, parallel.GrainFor(n*b.hw), b)
+	b.xd, b.od = nil, nil
+	return out
+}
+
+// Run implements parallel.Runner over a channel range.
+func (b *frozenBN) Run(_, lo, hi int) {
+	c := b.l.C
+	for ch := lo; ch < hi; ch++ {
+		s, sh := b.scale[ch], b.shift[ch]
+		for i := 0; i < b.n; i++ {
+			base := (i*c + ch) * b.hw
+			row := b.od[base : base+b.hw]
+			xrow := b.xd[base : base+b.hw]
+			for j, v := range xrow {
+				row[j] = s*v + sh
+			}
+		}
+	}
+}
+
+// Standalone activation -------------------------------------------------------
+
+// frozenAct is an activation that does not follow a matmul layer (so it
+// could not ride a kernel epilogue): an element-parallel sweep with no
+// backward mask.
+type frozenAct struct {
+	kind epAct
+
+	xd, od []float32 // per-Run state
+}
+
+// infer implements frozenOp.
+func (a *frozenAct) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	y := f.alloc(x.Shape()...)
+	a.xd, a.od = x.Data(), y.Data()
+	parallel.Run(f.budget(), x.Size(), parallel.GrainFor(1), a)
+	a.xd, a.od = nil, nil
+	return y
+}
+
+// Run implements parallel.Runner over an element range.
+func (a *frozenAct) Run(_, lo, hi int) { applyAct(a.od, a.xd, lo, hi, a.kind) }
+
+// Pooling ---------------------------------------------------------------------
+
+// frozenMaxPool is MaxPool2D without the argmax cache, parallel over
+// [N·C] planes.
+type frozenMaxPool struct {
+	k, stride int
+
+	xd, od       []float32 // per-Run state
+	h, w, oh, ow int
+}
+
+// infer implements frozenOp.
+func (p *frozenMaxPool) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.k)/p.stride + 1
+	ow := (w-p.k)/p.stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: frozen MaxPool2D k%d s%d on %dx%d", p.k, p.stride, h, w))
+	}
+	out := f.alloc(n, c, oh, ow)
+	p.xd, p.od, p.h, p.w, p.oh, p.ow = x.Data(), out.Data(), h, w, oh, ow
+	parallel.Run(f.budget(), n*c, parallel.GrainFor(oh*ow*p.k*p.k), p)
+	p.xd, p.od = nil, nil
+	return out
+}
+
+// Run implements parallel.Runner over a plane range.
+func (p *frozenMaxPool) Run(_, lo, hi int) {
+	for pl := lo; pl < hi; pl++ {
+		base := pl * p.h * p.w
+		oi := pl * p.oh * p.ow
+		for oy := 0; oy < p.oh; oy++ {
+			for ox := 0; ox < p.ow; ox++ {
+				iy0, ix0 := oy*p.stride, ox*p.stride
+				best := p.xd[base+iy0*p.w+ix0]
+				for ky := 0; ky < p.k; ky++ {
+					row := base + (iy0+ky)*p.w + ix0
+					for kx := 0; kx < p.k; kx++ {
+						if v := p.xd[row+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				p.od[oi] = best
+				oi++
+			}
+		}
+	}
+}
+
+// frozenAvgPool is AvgPool2D's inference op, parallel over planes.
+type frozenAvgPool struct {
+	k, stride int
+
+	xd, od       []float32 // per-Run state
+	h, w, oh, ow int
+}
+
+// infer implements frozenOp.
+func (p *frozenAvgPool) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.k)/p.stride + 1
+	ow := (w-p.k)/p.stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: frozen AvgPool2D k%d s%d on %dx%d", p.k, p.stride, h, w))
+	}
+	out := f.alloc(n, c, oh, ow)
+	p.xd, p.od, p.h, p.w, p.oh, p.ow = x.Data(), out.Data(), h, w, oh, ow
+	parallel.Run(f.budget(), n*c, parallel.GrainFor(oh*ow*p.k*p.k), p)
+	p.xd, p.od = nil, nil
+	return out
+}
+
+// Run implements parallel.Runner over a plane range.
+func (p *frozenAvgPool) Run(_, lo, hi int) {
+	inv := 1 / float32(p.k*p.k)
+	for pl := lo; pl < hi; pl++ {
+		base := pl * p.h * p.w
+		oi := pl * p.oh * p.ow
+		for oy := 0; oy < p.oh; oy++ {
+			for ox := 0; ox < p.ow; ox++ {
+				var s float32
+				for ky := 0; ky < p.k; ky++ {
+					row := base + (oy*p.stride+ky)*p.w + ox*p.stride
+					for kx := 0; kx < p.k; kx++ {
+						s += p.xd[row+kx]
+					}
+				}
+				p.od[oi] = s * inv
+				oi++
+			}
+		}
+	}
+}
+
+// planeMean averages each [N·C] plane down to one value — the shared kernel
+// of GlobalAvgPool and the SE squeeze, parallel over planes. Per-plane sums
+// run in the serial ascending order, so results are bit-identical to the
+// reference layers at every budget.
+type planeMean struct {
+	xd, od []float32
+	hw     int
+}
+
+// run executes the plane sweep under the budget.
+func (t *planeMean) run(par, planes int) {
+	parallel.Run(par, planes, parallel.GrainFor(t.hw), t)
+}
+
+// Run implements parallel.Runner over a plane range.
+func (t *planeMean) Run(_, lo, hi int) {
+	inv := 1 / float32(t.hw)
+	for i := lo; i < hi; i++ {
+		var s float32
+		row := t.xd[i*t.hw : (i+1)*t.hw]
+		for _, v := range row {
+			s += v
+		}
+		t.od[i] = s * inv
+	}
+}
+
+// frozenGAP is GlobalAvgPool's inference op.
+type frozenGAP struct {
+	t planeMean
+}
+
+// infer implements frozenOp.
+func (g *frozenGAP) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := f.alloc(n, c)
+	g.t = planeMean{xd: x.Data(), od: out.Data(), hw: h * w}
+	g.t.run(f.budget(), n*c)
+	g.t = planeMean{}
+	return out
+}
+
+// Composites ------------------------------------------------------------------
+
+// frozenResidual runs both frozen branches and sums them, mirroring
+// Residual.Forward's copy+add order exactly.
+type frozenResidual struct {
+	body, proj []frozenOp
+}
+
+// infer implements frozenOp.
+func (r *frozenResidual) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	y := runOps(f, r.body, x)
+	s := runOps(f, r.proj, x)
+	if !y.SameShape(s) {
+		panic(fmt.Sprintf("nn: frozen Residual shape mismatch %v vs %v", y.Shape(), s.Shape()))
+	}
+	out := f.alloc(y.Shape()...)
+	od, yd, sd := out.Data(), y.Data(), s.Data()
+	for i := range od {
+		od[i] = yd[i] + sd[i]
+	}
+	return out
+}
+
+// refold implements refolder, recursing into both branches.
+func (r *frozenResidual) refold() {
+	refoldOps(r.body)
+	refoldOps(r.proj)
+}
+
+// frozenParallel runs the frozen branches and concatenates along channels,
+// mirroring Parallel.Forward.
+type frozenParallel struct {
+	l        *Parallel
+	branches [][]frozenOp
+	outCs    []int
+	outs     []*tensor.Tensor // per-batch worklist, reused
+}
+
+// infer implements frozenOp.
+func (p *frozenParallel) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	n, c := x.Dim(0), x.Dim(1)
+	nb := len(p.branches)
+	totalC := 0
+	for i, ops := range p.branches {
+		in := x
+		if p.l.SplitInput {
+			if c%nb != 0 {
+				panic(fmt.Sprintf("nn: frozen Parallel split %d channels across %d branches", c, nb))
+			}
+			per := c / nb
+			in = frozenSliceChannels(f, x, i*per, (i+1)*per)
+		}
+		p.outs[i] = runOps(f, ops, in)
+		p.outCs[i] = p.outs[i].Dim(1)
+		totalC += p.outCs[i]
+	}
+	oh, ow := p.outs[0].Dim(2), p.outs[0].Dim(3)
+	out := f.alloc(n, totalC, oh, ow)
+	at := 0
+	for _, o := range p.outs {
+		if o.Dim(2) != oh || o.Dim(3) != ow {
+			panic("nn: frozen Parallel branches disagree on spatial size")
+		}
+		copyChannels(out, o, at)
+		at += o.Dim(1)
+	}
+	return out
+}
+
+// refold implements refolder, recursing into every branch.
+func (p *frozenParallel) refold() {
+	for _, ops := range p.branches {
+		refoldOps(ops)
+	}
+}
+
+// frozenSliceChannels copies channels [lo,hi) into a per-batch tensor.
+func frozenSliceChannels(f *Frozen, x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := f.alloc(n, hi-lo, h, w)
+	hw := h * w
+	xd, od := x.Data(), out.Data()
+	per := hi - lo
+	for i := 0; i < n; i++ {
+		copy(od[i*per*hw:(i+1)*per*hw], xd[(i*c+lo)*hw:(i*c+hi)*hw])
+	}
+	return out
+}
+
+// frozenSE is the squeeze-and-excitation inference op: plane-mean squeeze,
+// the two excitation matmuls with their activations fused as epilogues, and
+// the per-channel rescale.
+type frozenSE struct {
+	se       *SEBlock
+	fc1, fc2 *frozenDense
+	t        planeMean
+
+	xd, od, zd []float32 // per-Run state of the rescale sweep
+	hw         int
+}
+
+// newFrozenSE compiles an SEBlock, fusing the excitation MLP's ReLU and
+// HardSigmoid into the dense kernels.
+func newFrozenSE(l *SEBlock) *frozenSE {
+	fc1 := &frozenDense{l: l.fc1, act: epReLU}
+	fc1.build()
+	fc2 := &frozenDense{l: l.fc2, act: epHardSigmoid}
+	fc2.build()
+	return &frozenSE{se: l, fc1: fc1, fc2: fc2}
+}
+
+// infer implements frozenOp.
+func (s *frozenSE) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != s.se.C {
+		panic(fmt.Sprintf("nn: frozen SEBlock channels %d, want %d", c, s.se.C))
+	}
+	hw := h * w
+	sq := f.alloc(n, c)
+	s.t = planeMean{xd: x.Data(), od: sq.Data(), hw: hw}
+	s.t.run(f.budget(), n*c)
+	s.t = planeMean{}
+	z := s.fc2.infer(f, s.fc1.infer(f, sq))
+	out := f.alloc(n, c, h, w)
+	s.xd, s.od, s.zd, s.hw = x.Data(), out.Data(), z.Data(), hw
+	parallel.Run(f.budget(), n*c, parallel.GrainFor(hw), s)
+	s.xd, s.od, s.zd = nil, nil, nil
+	return out
+}
+
+// Run implements parallel.Runner over the rescale's plane range.
+func (s *frozenSE) Run(_, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		zi := s.zd[i]
+		row := s.od[i*s.hw : (i+1)*s.hw]
+		xrow := s.xd[i*s.hw : (i+1)*s.hw]
+		for j, v := range xrow {
+			row[j] = v * zi
+		}
+	}
+}
+
+// refold implements refolder for the excitation layers.
+func (s *frozenSE) refold() {
+	s.fc1.refold()
+	s.fc2.refold()
+}
+
+// frozenWrap delegates to a layer's own eval forward — pure view or
+// permutation layers with no backward caches, and any layer type the
+// compiler does not know.
+type frozenWrap struct {
+	l Layer
+}
+
+// infer implements frozenOp.
+func (w *frozenWrap) infer(_ *Frozen, x *tensor.Tensor) *tensor.Tensor {
+	return w.l.Forward(x, false)
+}

@@ -122,7 +122,7 @@ func (BCEWithLogits) EvalInto(grad, logits *tensor.Tensor, target Target) float6
 		zf := float64(z)
 		// numerically stable: log(1+e^-|z|) + max(z,0) - z*t
 		loss += (math.Max(zf, 0) - zf*t + math.Log1p(math.Exp(-math.Abs(zf)))) * invM
-		p := 1 / (1 + math.Exp(-zf))
+		p := sigmoid64(zf)
 		gd[i] = float32((p - t) * invM)
 	}
 	return loss

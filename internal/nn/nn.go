@@ -71,6 +71,10 @@ type Network struct {
 	// dxOut, keyed by gradient size, detaches Backward's return value from
 	// the arena (callers like the gradient checker hold it across batches).
 	dxOut map[int]*tensor.Tensor
+	// frozen caches the compiled inference view built by Freeze; it shares
+	// this network's arena and intra-op budget and is re-folded (not
+	// recompiled) on every Freeze call.
+	frozen *Frozen
 }
 
 // NewNetwork builds a network from the given layers with a fresh arena.

@@ -1,6 +1,11 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"heteroswitch/internal/parallel"
+)
 
 // ConvDims describes a 2-D convolution geometry shared by Im2Col and the
 // conv layers in internal/nn.
@@ -81,6 +86,153 @@ func Im2Col(col, img []float32, d ConvDims) {
 			}
 		}
 	}
+}
+
+// col2imCols is Col2Im restricted to image columns ix ∈ [xlo, xhi) — the
+// column-blocked parallel building block. For every (channel, tap) row of
+// col it computes the ox range whose target column lands inside the block,
+// so the inner loop needs no per-element bounds check. A pixel's
+// contributions arrive in the same (ky, kx, oy, ox) order as the serial
+// scatter — restricting ix never reorders adds into one pixel, and every
+// pixel lives in exactly one block — so results are bit-identical to Col2Im
+// at any partition.
+func col2imCols(img, col []float32, d ConvDims, xlo, xhi int) {
+	cols := d.ColCols()
+	// oxFor returns the smallest ox with ox*StrideW - PadW + kx >= x.
+	oxFor := func(x, kx int) int {
+		num := x + d.PadW - kx
+		if num <= 0 {
+			return 0
+		}
+		return (num + d.StrideW - 1) / d.StrideW
+	}
+	row := 0
+	for c := 0; c < d.InC; c++ {
+		chanBase := c * d.InH * d.InW
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				src := col[row*cols : (row+1)*cols]
+				oxLo := oxFor(xlo, kx)
+				oxHi := min(oxFor(xhi, kx), d.OutW)
+				if oxLo >= oxHi {
+					row++
+					continue
+				}
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.StrideH - d.PadH + ky
+					if iy < 0 || iy >= d.InH {
+						continue
+					}
+					rowBase := chanBase + iy*d.InW - d.PadW + kx
+					srcRow := src[oy*d.OutW : oy*d.OutW+d.OutW]
+					for ox := oxLo; ox < oxHi; ox++ {
+						img[rowBase+ox*d.StrideW] += srcRow[ox]
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// DepthwiseConvPlane convolves ONE channel plane directly, without the
+// im2col lowering: y[OutH*OutW] = w[KH*KW] ⊛ img[InH*InW] for a d with
+// InC == 1. The loop is tap-outer: each of the KH·KW taps sweeps the output
+// as one bounds-free strided AXPY (contiguous at stride 1), so the kernel
+// runs at matmul-class efficiency instead of gathering taps per pixel.
+//
+// Per output pixel the taps still accumulate in ascending (ky, kx) order —
+// the same per-target order as the im2col matmul, whose skipped
+// zero-padding and zero-weight products are exact no-ops — so the result is
+// bit-identical to Im2Col + MatMulSlices on the same plane. The inference
+// fast path uses it for depthwise convolutions, where the im2col copy costs
+// more than the arithmetic.
+func DepthwiseConvPlane(y, img, w []float32, d ConvDims) {
+	clear(y[:d.OutH*d.OutW])
+	// oxRange returns the ox interval whose tap column stays in bounds:
+	// 0 <= ox*StrideW - PadW + kx < InW.
+	oxRange := func(kx int) (int, int) {
+		lo, hi := 0, d.OutW
+		if num := d.PadW - kx; num > 0 {
+			lo = (num + d.StrideW - 1) / d.StrideW
+		}
+		if num := d.InW + d.PadW - kx; num > 0 {
+			hi = min(hi, (num+d.StrideW-1)/d.StrideW)
+		} else {
+			hi = 0
+		}
+		return lo, hi
+	}
+	t := 0
+	for ky := 0; ky < d.KH; ky++ {
+		for kx := 0; kx < d.KW; kx++ {
+			wt := w[t]
+			t++
+			if wt == 0 {
+				continue // exact no-op, as in the matmul kernel's zero skip
+			}
+			oxLo, oxHi := oxRange(kx)
+			if oxLo >= oxHi {
+				continue
+			}
+			for oy := 0; oy < d.OutH; oy++ {
+				iy := oy*d.StrideH - d.PadH + ky
+				if iy < 0 || iy >= d.InH {
+					continue
+				}
+				yrow := y[oy*d.OutW : (oy+1)*d.OutW]
+				ibase := iy*d.InW - d.PadW + kx
+				if d.StrideW == 1 {
+					irow := img[ibase+oxLo : ibase+oxHi]
+					dst := yrow[oxLo : oxLo+len(irow)]
+					for j, v := range irow {
+						dst[j] += wt * v
+					}
+				} else {
+					for ox := oxLo; ox < oxHi; ox++ {
+						yrow[ox] += wt * img[ibase+ox*d.StrideW]
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imTask is the pooled parallel.Runner behind Col2ImP.
+type col2imTask struct {
+	img, col []float32
+	d        ConvDims
+}
+
+var col2imTaskPool = sync.Pool{New: func() any { return new(col2imTask) }}
+
+// Run implements parallel.Runner over a range of image columns.
+func (t *col2imTask) Run(_, lo, hi int) { col2imCols(t.img, t.col, t.d, lo, hi) }
+
+// Col2ImP is Col2Im with the scatter parallelized over blocks of image
+// columns under the given intra-op budget: each chunk owns a disjoint set of
+// output pixels (all rows and channels of its column range), so chunks never
+// write the same element and results are bit-identical to the serial scatter
+// at every budget. Budget 1 — or a geometry too small for the grain — runs
+// the serial kernel.
+func Col2ImP(par int, img, col []float32, d ConvDims) {
+	if par <= 1 || d.InW <= 1 {
+		Col2Im(img, col, d)
+		return
+	}
+	// Per-column work: the whole scatter costs about InC·KH·KW·OutH·OutW
+	// adds, spread over the InW columns.
+	perCol := d.InC * d.KH * d.KW * d.OutH * d.OutW / d.InW
+	grain := parallel.GrainFor(perCol)
+	if parallel.Chunks(par, d.InW, grain) <= 1 {
+		Col2Im(img, col, d)
+		return
+	}
+	t := col2imTaskPool.Get().(*col2imTask)
+	t.img, t.col, t.d = img, col, d
+	parallel.Run(par, d.InW, grain, t)
+	t.img, t.col = nil, nil
+	col2imTaskPool.Put(t)
 }
 
 // Col2Im scatters the column matrix back into an image, accumulating

@@ -299,6 +299,21 @@ func matMulTransAAccRange(out, a, b []float32, k, m, n, i0, i1 int) {
 // minimum rows per parallel chunk.
 func mmGrain(k, n int) int { return parallel.GrainFor(k * n) }
 
+// RowEpilogue post-processes completed output rows of a matmul in place —
+// bias adds and activation functions fused into the kernel call. The *PEp
+// kernels apply it INSIDE each parallel chunk, right after the chunk's rows
+// are computed, so the epilogue runs on cache-warm data and the output is
+// never re-traversed by a separate layer pass. Apply receives the global row
+// index r and the row slice out[r*n : (r+1)*n].
+//
+// Apply must be safe for concurrent calls on distinct rows (chunks run in
+// parallel): implementations read shared state but mutate only the row.
+// Because the epilogue is row-local, fused results are bit-identical at
+// every budget, exactly like the unfused kernels.
+type RowEpilogue interface {
+	Apply(row []float32, r int)
+}
+
 // mmTask is the pooled parallel.Runner behind the *P kernels; recycling it
 // keeps the parallel dispatch path free of steady-state allocation.
 type mmTask struct {
@@ -306,6 +321,7 @@ type mmTask struct {
 	out, a, b []float32
 	k, n, m   int
 	acc       bool
+	ep        RowEpilogue
 }
 
 type mmKind uint8
@@ -329,6 +345,16 @@ func (t *mmTask) Run(_, lo, hi int) {
 		matMulTransB(t.out[lo*t.n:hi*t.n], t.a[lo*t.k:hi*t.k], t.b, hi-lo, t.k, t.n, t.acc)
 	case mmTransA:
 		matMulTransAAccRange(t.out, t.a, t.b, t.k, t.m, t.n, lo, hi)
+	}
+	if t.ep != nil {
+		applyEpilogue(t.ep, t.out, t.n, lo, hi)
+	}
+}
+
+// applyEpilogue runs ep over output rows [lo, hi).
+func applyEpilogue(ep RowEpilogue, out []float32, n, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		ep.Apply(out[r*n:(r+1)*n], r)
 	}
 }
 
@@ -414,4 +440,34 @@ func MatMulTransAAccSlicesP(par int, out, a, b []float32, k, m, n int) {
 		return
 	}
 	runMMTask(par, m, mmTask{kind: mmTransA, out: out, a: a, b: b, k: k, m: m, n: n})
+}
+
+// Epilogue-fused kernel entry points ------------------------------------------
+//
+// The *PEp kernels are the inference fast path's fused matmuls: out = a @ b
+// with ep applied to each completed output row inside the chunk that computed
+// it. Bias adds and activations therefore cost one extra sweep over rows that
+// are still cache-resident, instead of whole separate layer passes over the
+// output tensor. A nil ep degrades to the plain kernel.
+
+// MatMulSlicesPEp is MatMulSlicesP with a fused row epilogue.
+func MatMulSlicesPEp(par int, out, a, b []float32, m, k, n int, ep RowEpilogue) {
+	if par <= 1 {
+		MatMulSlices(out, a, b, m, k, n)
+		if ep != nil {
+			applyEpilogue(ep, out, n, 0, m)
+		}
+		return
+	}
+	runMMTask(par, m, mmTask{kind: mmAB, out: out, a: a, b: b, k: k, n: n, ep: ep})
+}
+
+// MatMulIntoPEp is MatMulIntoP with a fused row epilogue.
+func MatMulIntoPEp(par int, out, a, b *Tensor, ep RowEpilogue) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulIntoPEp out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	MatMulSlicesPEp(par, out.data, a.data, b.data, m, k, n, ep)
 }
