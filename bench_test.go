@@ -19,6 +19,7 @@ import (
 	"heteroswitch/internal/isp"
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/scene"
+	"heteroswitch/internal/serve"
 	"heteroswitch/internal/simclock"
 	"heteroswitch/internal/tensor"
 )
@@ -335,6 +336,116 @@ func BenchmarkEval(b *testing.B) {
 }
 
 var benchEvalSink *tensor.Tensor
+
+// gradPathLoss hides the LossValuer capability of a loss, forcing eval loops
+// back onto the gradient (LossInto) path — the "before" arm of
+// BenchmarkEvalLoss.
+type gradPathLoss struct{ nn.LossInto }
+
+// BenchmarkEvalLoss measures fl.EvalLoss — the pure-inference loss sweep —
+// on the value-only path (nn.LossValuer, the default) against the former
+// gradient path (LossInto materializing dL/d(pred) per batch). Acceptance:
+// value-only is no slower and allocates no gradient tensors; the loss values
+// are bit-identical by the LossValuer contract.
+func BenchmarkEvalLoss(b *testing.B) {
+	r := frand.New(17)
+	ds := &dataset.Dataset{NumClasses: 12}
+	for i := 0; i < 256; i++ {
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X: tensor.Randn(r, 0.5, 3, 16, 16), Label: i % 12,
+		})
+	}
+	br := frand.New(7)
+	net := nn.NewNetwork(
+		nn.NewFlatten(),
+		nn.NewDense(br, 3*16*16, 256), nn.NewReLU(),
+		nn.NewDense(br, 256, 12),
+	)
+	for _, mode := range []struct {
+		name string
+		loss nn.Loss
+	}{
+		{"value-only", nn.SoftmaxCrossEntropy{}},
+		{"grad-path", gradPathLoss{nn.SoftmaxCrossEntropy{}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			fl.EvalLoss(net, mode.loss, ds, 32) // warm scratch + arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchEvalLossSink = fl.EvalLoss(net, mode.loss, ds, 32)
+			}
+		})
+	}
+}
+
+var benchEvalLossSink float64
+
+// BenchmarkServe measures the serving front end end-to-end: one full
+// closed-loop load run (seeded arrivals, micro-batching, frozen per-worker
+// replicas) per iteration, swept over the micro-batcher's flush threshold.
+// Custom metrics report the harness's virtual-time results — vthroughput
+// (requests per virtual time unit) and vp99 (virtual p99 latency) — so the
+// CI bench artifact records the batching trade-off curve: how throughput and
+// tail latency move as MaxBatch grows. Wall-clock ns/op tracks the
+// real inference cost of the same run. The per-request outputs are
+// bit-identical across batch sizes and intra-op budgets (asserted by the
+// serve package tests); this benchmark records the schedule consequences.
+func BenchmarkServe(b *testing.B) {
+	build := func() *nn.Network {
+		br := frand.New(7)
+		return nn.NewNetwork(
+			nn.NewConv2D(br, 1, 4, 3, 1, 1, 1),
+			nn.NewBatchNorm2D(4),
+			nn.NewReLU(),
+			nn.NewGlobalAvgPool(),
+			nn.NewDense(br, 4, 3),
+		)
+	}
+	weights := build().Snapshot()
+	r := frand.New(17)
+	inputs := make([]*tensor.Tensor, 16)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(r, 0.5, 1, 8, 8)
+	}
+	for _, maxBatch := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("maxbatch=%d", maxBatch), func(b *testing.B) {
+			srv, err := serve.NewServer(build, weights, serve.Config{
+				MaxBatch:    maxBatch,
+				BatchBudget: 0.5,
+				Workers:     2,
+				IntraOp:     2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			load := serve.LoadConfig{
+				Requests:    512,
+				Concurrency: 24,
+				Arrival:     serve.ClosedLoop{Think: 0.5, Seed: 11},
+				Service:     serve.AffineService{Base: 1, PerItem: 0.25},
+				Seed:        42,
+				Inputs:      inputs,
+			}
+			if _, err := srv.RunLoad(load); err != nil { // warm replicas + arenas
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last serve.Report
+			for i := 0; i < b.N; i++ {
+				rep, err := srv.RunLoad(load)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rep
+			}
+			b.ReportMetric(last.Throughput, "vthroughput")
+			b.ReportMetric(last.P99, "vp99")
+			b.ReportMetric(last.MeanBatch, "meanbatch")
+		})
+	}
+}
 
 // Substrate micro-benchmarks ---------------------------------------------------
 

@@ -1,0 +1,99 @@
+// Command flserve runs the deterministic serving load harness: it stands up
+// the serving stack (refcounted version store, micro-batcher, per-worker
+// frozen replicas) for one model and drives it with a seeded open- or
+// closed-loop arrival process in virtual time. Everything printed is a pure
+// function of the flags: two invocations with the same flags produce
+// byte-identical output — including per-request output digests and the
+// latency histogram — at every -intraop setting, which is exactly what the
+// CI smoke diffs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/models"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/serve"
+	"heteroswitch/internal/tensor"
+)
+
+func main() {
+	var (
+		model       = flag.String("model", string(models.ArchMobileNet), "model architecture")
+		classes     = flag.Int("classes", 12, "model output classes")
+		side        = flag.Int("side", 32, "input image side (3-channel side x side; must match the architecture's expected geometry — 32 for the bundled models)")
+		requests    = flag.Int("requests", 2000, "total requests to serve")
+		concurrency = flag.Int("concurrency", 16, "closed-loop client population (ignored by open-loop arrivals)")
+		arrival     = flag.String("arrival-model", "closed:0.5", "request process: closed:THINK (exp think-time clients) or open:RATE (Poisson arrivals)")
+		maxBatch    = flag.Int("max-batch", 8, "micro-batch flush threshold")
+		budget      = flag.Float64("batch-budget", 0.25, "virtual time a partial batch waits for more requests before flushing")
+		workers     = flag.Int("workers", 2, "concurrent batch executors (one frozen replica each)")
+		intraop     = flag.Int("intraop", 0, "total intra-op kernel budget split across workers (0 = GOMAXPROCS; outputs are bit-identical at every setting)")
+		svcBase     = flag.Float64("service-base", 1, "virtual per-dispatch service cost")
+		svcItem     = flag.Float64("service-per-item", 0.25, "virtual per-request service cost")
+		publish     = flag.Int("publish-every", 0, "republish the model (same values, new version) every N batches, exercising version-cache churn (0 = off)")
+		bank        = flag.Int("inputs", 32, "distinct request payloads in the input bank")
+		seed        = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*model, *classes, *side, *requests, *concurrency, *arrival,
+		*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "flserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, classes, side, requests, concurrency int, arrivalSpec string,
+	maxBatch int, budget float64, workers, intraop int, svcBase, svcItem float64,
+	publish, bank int, seed uint64) error {
+	builder, err := models.BuilderFor(models.Arch(model), seed, 3, classes)
+	if err != nil {
+		return err
+	}
+	build := func() *nn.Network { return builder() }
+	weights := build().Snapshot()
+
+	arrivalModel, err := serve.ParseArrival(arrivalSpec, seed^0xa11ce)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(build, weights, serve.Config{
+		MaxBatch:    maxBatch,
+		BatchBudget: budget,
+		Workers:     workers,
+		IntraOp:     intraop,
+	})
+	if err != nil {
+		return err
+	}
+
+	r := frand.New(seed ^ 0x1ead)
+	inputs := make([]*tensor.Tensor, bank)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(r, 0.5, 3, side, side)
+	}
+
+	fmt.Printf("flserve model=%s classes=%d input=3x%dx%d\n", model, classes, side, side)
+	fmt.Printf("config max_batch=%d batch_budget=%g workers=%d intraop=%d arrival=%s service=affine(%g,%g) publish_every=%d seed=%d\n",
+		maxBatch, budget, workers, intraop, arrivalSpec, svcBase, svcItem, publish, seed)
+
+	report, err := srv.RunLoad(serve.LoadConfig{
+		Requests:     requests,
+		Concurrency:  concurrency,
+		Arrival:      arrivalModel,
+		Service:      serve.AffineService{Base: svcBase, PerItem: svcItem},
+		Seed:         seed,
+		PublishEvery: publish,
+		Inputs:       inputs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("versions published=%d resident=%d\n", srv.Store().Version(), srv.Store().Live())
+	fmt.Print(report.String())
+	return nil
+}

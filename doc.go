@@ -7,8 +7,10 @@
 // system-induced data heterogeneity (internal/camera, internal/isp,
 // internal/device, internal/scene), the federated-learning engine and
 // baselines (internal/fl), the HeteroSwitch algorithm (internal/core), and
-// one harness per paper table/figure (internal/experiments). Entry points:
-// cmd/heterobench, cmd/flsim, cmd/ispdemo, and the runnable examples/.
+// one harness per paper table/figure (internal/experiments), and a serving
+// front end on the frozen inference path (internal/serve). Entry points:
+// cmd/heterobench, cmd/flsim, cmd/flserve, cmd/ispdemo, and the runnable
+// examples/.
 //
 // # Streaming shard-parallel aggregation
 //
@@ -201,6 +203,54 @@
 // The reference path also remains the only path for anything that needs
 // batch statistics or backward passes — training, gradient checks — and for
 // exact A/B measurements (BenchmarkEval fused vs reference).
+//
+// Loss evaluation on this path is value-only: losses implement nn.LossValuer
+// (EvalValue), which computes the scalar loss with exactly the float-op
+// order of the gradient path's EvalInto but elides the dL/d(pred) writes, so
+// the value is bit-identical while the eval loops (fl.EvalLoss,
+// metrics.MeanLoss) allocate and compute no gradient tensor at all.
+// nn.LossValue is the routing helper: LossValuer when available, otherwise
+// the LossInto/Eval fallbacks (BenchmarkEvalLoss A/Bs the two paths).
+//
+// # Serving
+//
+// internal/serve stands a prediction front end on the frozen inference path;
+// cmd/flserve is its load-harness entry point. Three pieces:
+//
+//   - Version cache: serve.Store wraps the refcounted nn.VersionStore (the
+//     same store backing the async server's broadcast versions). Acquire
+//     pins the current version for one request; Publish installs new weights
+//     as version N+1 and drops the store's own reference to N, which is
+//     recycled into a buffer pool the moment its last in-flight reader
+//     releases it. Resident versions are therefore bounded by request
+//     lifetimes (1 + versions still being read), never by publish count.
+//   - Micro-batching: requests admitted to the load harness join the forming
+//     batch for the version current at THEIR admission. A batch flushes when
+//     it reaches Config.MaxBatch, when Config.BatchBudget virtual time has
+//     passed since its first request, or when a publish occurs — a batch
+//     never mixes versions, so every request is served end-to-end by the
+//     exact version it was admitted under. Flushed batches execute on
+//     Config.Workers frozen replicas (nn.ReplicaPool), each granted
+//     IntraOp/Workers cores; a replica reloads + re-folds weights only when
+//     its pinned version changes (nn.Replica.Ensure), not per batch.
+//   - Load harness: Server.RunLoad drives the stack in virtual time on a
+//     single goroutine — seeded open-loop (Poisson) or closed-loop
+//     (exponential think time) arrivals, an affine virtual service-time
+//     model, and a power-of-two-bucket latency histogram (math.Frexp
+//     bucketing, no libm). The steady-state request path performs zero heap
+//     allocations (asserted by TestLoadSteadyStateZeroAlloc).
+//
+// Determinism contract (asserted at tolerance 0 by the serve tests and
+// diffed byte-for-byte by the CI flserve smoke): a load run's Report —
+// per-request output digest, latency histogram, quantiles, virtual
+// throughput — is a pure function of (model weights, LoadConfig, Config),
+// bit-identical across runs and across every intra-op budget; version churn
+// (PublishEvery republishing identical values) may legally shift batch
+// boundaries and therefore the latency schedule, but never the outputs.
+// Server.PredictInto is the synchronous concurrent entry point (real
+// goroutines, no virtual time) and keeps only the output contract: results
+// bit-identical to a serial reference regardless of interleaving with
+// Publish.
 //
 // The root package exists to carry the repository-level benchmarks in
 // bench_test.go, one per table and figure of the paper's evaluation, plus

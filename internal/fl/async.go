@@ -123,6 +123,11 @@ type AsyncRoundStats struct {
 	// Version is the number of global model updates applied through this
 	// aggregation.
 	Version int
+	// Skipped counts this window's completions whose staleness discount was 0:
+	// their uploads were discarded without paying local training (the fold at
+	// weight 0 is a no-op, so the result could never matter). Skipped clients
+	// still appear in Sampled and in the byte accounting.
+	Skipped int
 }
 
 // asyncJob is one dispatched unit of client work: who trains, and against
@@ -173,7 +178,7 @@ type AsyncServer struct {
 	acc     WeightedAccumulator
 	clock   simclock.Clock
 	pool    weightsPool
-	store   versionStore
+	store   nn.VersionStore
 
 	// queue holds drawn-but-undispatched clients in sampling order; qhead
 	// avoids re-slicing the backing array away.
@@ -275,7 +280,7 @@ func (s *AsyncServer) admit(st *AsyncRoundStats) {
 		id := s.seq
 		s.seq++
 		s.jobs[id] = asyncJob{client: c, version: s.Version}
-		s.store.retain(s.Version, s.Global)
+		s.store.Retain(s.Version, s.Global)
 		s.clock.Schedule(s.clock.Now()+s.Async.Latency.Sample(c.ID, id), id)
 		st.BytesDown += wb
 	}
@@ -285,8 +290,19 @@ func (s *AsyncServer) admit(st *AsyncRoundStats) {
 // global version broadcast at its dispatch — and folds the result into the
 // round accumulator at the given discount. The returned result carries only
 // scalar stats; its weights aliased the recycled scratch buffer.
+//
+// A discount of 0 skips training entirely: the fold would contribute nothing
+// (AccumulateWeighted at weight 0 is a no-op by contract), so paying all
+// LocalEpochs of SGD for it is pure waste. The skip is invisible to
+// everything downstream — the client's RoundRNG is a pure function of
+// (client, version) so no shared RNG stream advances, the zero-weight
+// accumulator state is unchanged, and the caller still releases the version
+// and accounts BytesUp (the client uploaded; the server discarded).
 func (s *AsyncServer) runJob(job asyncJob, discount float64) ClientResult {
-	global := s.store.weights(job.version)
+	if discount == 0 {
+		return ClientResult{ClientID: job.client.ID, DeviceIdx: job.client.Device}
+	}
+	global := s.store.Weights(job.version)
 	scratch := s.pool.get(global)
 	defer s.pool.put(scratch)
 	res := localUpdate(s.Strategy, s.net, global, job.client, s.Cfg, s.Loss, job.version, &scratch)
@@ -316,8 +332,11 @@ func (s *AsyncServer) RunRound() AsyncRoundStats {
 		delete(s.jobs, ev.ID)
 		staleness := s.Version - job.version
 		discount := s.Async.Staleness.Weight(staleness)
+		if discount == 0 {
+			st.Skipped++
+		}
 		res := s.runJob(job, discount)
-		s.store.release(job.version, s.Global)
+		s.store.Release(job.version, s.Global)
 
 		n := float64(res.NumSamples)
 		st.MeanLoss += res.TrainLoss * n
@@ -337,7 +356,7 @@ func (s *AsyncServer) RunRound() AsyncRoundStats {
 	}
 	st.MeanStaleness = staleSum / float64(s.Async.Buffer)
 	st.MeanDiscount = discSum / float64(s.Async.Buffer)
-	st.TotalEpochs = s.Async.Buffer * s.Cfg.LocalEpochs
+	st.TotalEpochs = (s.Async.Buffer - st.Skipped) * s.Cfg.LocalEpochs
 
 	s.finalizeWindow()
 	st.VirtualTime = s.clock.Now()
@@ -354,18 +373,18 @@ func (s *AsyncServer) RunRound() AsyncRoundStats {
 func (s *AsyncServer) finalizeWindow() {
 	old := s.Global
 	if fi, ok := s.acc.(IntoFinalizer); ok {
-		buf := s.store.takeBuffer(old)
+		buf := s.store.TakeBuffer(old)
 		if fi.FinalizeInto(buf) {
 			s.Global = buf
 		} else {
-			s.store.giveBuffer(buf)
+			s.store.GiveBuffer(buf)
 		}
 	} else {
 		s.Global = s.acc.Finalize()
 	}
-	if !sharesStorage(s.Global, old) {
+	if !s.Global.SharesStorage(old) {
 		s.Version++
-		s.store.retire(old)
+		s.store.Retire(old)
 	}
 	if ra, ok := s.acc.(ResettableAccumulator); ok {
 		ra.Reset(s.Global, s.Cfg)
@@ -400,84 +419,4 @@ func (s *AsyncServer) GlobalNet() *nn.Network {
 	}
 	net.SetIntraOp(intraOpShare(s.Cfg, 1))
 	return net
-}
-
-// versionStore tracks the global weight sets still referenced by in-flight
-// jobs, so lazily evaluated training always sees the exact version broadcast
-// at its dispatch. Fully released stale versions recycle into a free pool
-// that finalizeWindow draws its outgoing-global buffers from, keeping the
-// steady state of the async loop free of model-sized allocations (the
-// asynchronous analogue of the synchronous server's spare double-buffer).
-type versionStore struct {
-	entries map[int]*versionEntry
-	free    []nn.Weights
-}
-
-type versionEntry struct {
-	w    nn.Weights
-	refs int
-}
-
-// retain records one in-flight reference to version v, whose weights are w.
-func (vs *versionStore) retain(v int, w nn.Weights) {
-	if vs.entries == nil {
-		vs.entries = map[int]*versionEntry{}
-	}
-	e := vs.entries[v]
-	if e == nil {
-		e = &versionEntry{w: w}
-		vs.entries[v] = e
-	}
-	e.refs++
-}
-
-// weights returns version v's weights; v must have been retained.
-func (vs *versionStore) weights(v int) nn.Weights { return vs.entries[v].w }
-
-// release drops one in-flight reference. A fully released version's buffer
-// recycles unless it still backs the live global.
-func (vs *versionStore) release(v int, current nn.Weights) {
-	e := vs.entries[v]
-	e.refs--
-	if e.refs > 0 {
-		return
-	}
-	delete(vs.entries, v)
-	if !sharesStorage(e.w, current) {
-		vs.free = append(vs.free, e.w)
-	}
-}
-
-// retire recycles an outgoing global with no in-flight readers; if readers
-// remain, release recycles it when the last one completes.
-func (vs *versionStore) retire(w nn.Weights) {
-	for _, e := range vs.entries {
-		if sharesStorage(e.w, w) {
-			return
-		}
-	}
-	vs.free = append(vs.free, w)
-}
-
-// takeBuffer returns a pooled model-shaped buffer, allocating a zeroed clone
-// only when the pool is empty.
-func (vs *versionStore) takeBuffer(like nn.Weights) nn.Weights {
-	if n := len(vs.free); n > 0 {
-		w := vs.free[n-1]
-		vs.free = vs.free[:n-1]
-		return w
-	}
-	return like.Zero()
-}
-
-// giveBuffer returns an unused buffer to the pool.
-func (vs *versionStore) giveBuffer(w nn.Weights) { vs.free = append(vs.free, w) }
-
-// sharesStorage reports whether two weight sets are backed by the same
-// tensors (the identity test behind the store's recycling decisions).
-func sharesStorage(a, b nn.Weights) bool {
-	if len(a.Params) > 0 && len(b.Params) > 0 {
-		return a.Params[0] == b.Params[0]
-	}
-	return len(a.States) > 0 && len(b.States) > 0 && a.States[0] == b.States[0]
 }

@@ -37,6 +37,8 @@ func batchTarget(y *tensor.Tensor, labels []int) nn.Target {
 // L_init in Algorithm 1 terms. It handles both single- and multi-label data
 // and forwards through one frozen inference replica (nn.EvalView): BN
 // folded to the running statistics, activations fused, no backward caches.
+// The loss is evaluated value-only (nn.LossValuer) — no gradient is computed
+// or materialized on this pure-inference path.
 func EvalLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) float64 {
 	if ds.Len() == 0 {
 		return 0
@@ -48,12 +50,7 @@ func EvalLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) flo
 	bs.ForBatches(ds, batch, func(lo, hi int, x, y *tensor.Tensor, labels []int) {
 		out := inf.Infer(x)
 		target := batchTarget(y, labels)
-		var l float64
-		if li, ok := loss.(nn.LossInto); ok {
-			l = li.EvalInto(bs.Alloc(out.Shape()...), out, target)
-		} else {
-			l, _ = loss.Eval(out, target)
-		}
+		l := nn.LossValue(loss, func() *tensor.Tensor { return bs.Alloc(out.Shape()...) }, out, target)
 		total += l * float64(hi-lo)
 	})
 	return total / float64(ds.Len())

@@ -54,7 +54,9 @@ func accuracyOn(inf nn.Inference, bs *dataset.BatchScratch, ds *dataset.Dataset,
 
 // MeanLoss returns the mean loss of net on ds without updating anything —
 // the quantity HeteroSwitch compares against its EMA (L_init). Like
-// Accuracy it forwards through one frozen replica per evaluation.
+// Accuracy it forwards through one frozen replica per evaluation, and like
+// fl.EvalLoss it takes the value-only loss path (nn.LossValuer): no gradient
+// tensor is computed or allocated per batch.
 func MeanLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) float64 {
 	if ds.Len() == 0 {
 		return 0
@@ -65,12 +67,12 @@ func MeanLoss(net *nn.Network, loss nn.Loss, ds *dataset.Dataset, batch int) flo
 	var total float64
 	var count int
 	bs.ForBatches(ds, batch, func(lo, hi int, x, y *tensor.Tensor, labels []int) {
-		var l float64
+		out := inf.Infer(x)
+		target := nn.ClassTarget(labels)
 		if y != nil {
-			l, _ = loss.Eval(inf.Infer(x), nn.DenseTarget(y))
-		} else {
-			l, _ = loss.Eval(inf.Infer(x), nn.ClassTarget(labels))
+			target = nn.DenseTarget(y)
 		}
+		l := nn.LossValue(loss, func() *tensor.Tensor { return bs.Alloc(out.Shape()...) }, out, target)
 		total += l * float64(hi-lo)
 		count += hi - lo
 	})

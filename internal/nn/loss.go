@@ -26,6 +26,32 @@ type LossInto interface {
 	EvalInto(grad, pred *tensor.Tensor, target Target) float64
 }
 
+// LossValuer is an optional Loss capability for pure-inference consumers:
+// EvalValue returns the scalar loss without computing or materializing the
+// gradient at all. The value is computed with the same floating-point
+// operations, in the same order, as EvalInto's loss accumulation, so routing
+// an eval loop through EvalValue is bit-identical to the gradient path —
+// just cheaper. All losses in this package implement it.
+type LossValuer interface {
+	Loss
+	EvalValue(pred *tensor.Tensor, target Target) float64
+}
+
+// LossValue evaluates the scalar loss by the cheapest route the loss
+// supports: the value-only path when available, otherwise EvalInto into the
+// caller's scratch gradient buffer (which must have pred's shape and is
+// ignored on the value-only path), otherwise plain Eval.
+func LossValue(loss Loss, grad func() *tensor.Tensor, pred *tensor.Tensor, target Target) float64 {
+	if lv, ok := loss.(LossValuer); ok {
+		return lv.EvalValue(pred, target)
+	}
+	if li, ok := loss.(LossInto); ok {
+		return li.EvalInto(grad(), pred, target)
+	}
+	l, _ := loss.Eval(pred, target)
+	return l
+}
+
 // Target carries either class indices (single-label), a dense matrix
 // (multi-label / regression), whichever the loss expects.
 type Target struct {
@@ -92,6 +118,41 @@ func (SoftmaxCrossEntropy) EvalInto(grad, logits *tensor.Tensor, target Target) 
 	return loss
 }
 
+// EvalValue implements LossValuer: EvalInto's loss accumulation with the
+// per-element softmax-gradient loop elided.
+func (SoftmaxCrossEntropy) EvalValue(logits *tensor.Tensor, target Target) float64 {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(target.Classes) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(target.Classes), n))
+	}
+	ld := logits.Data()
+	var loss float64
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		y := target.Classes[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		loss += -(float64(row[y]-maxv) - logSum) * invN
+	}
+	return loss
+}
+
 // Name implements Loss.
 func (SoftmaxCrossEntropy) Name() string { return "SoftmaxCrossEntropy" }
 
@@ -128,6 +189,23 @@ func (BCEWithLogits) EvalInto(grad, logits *tensor.Tensor, target Target) float6
 	return loss
 }
 
+// EvalValue implements LossValuer: EvalInto's loss accumulation without the
+// sigmoid-gradient writes.
+func (BCEWithLogits) EvalValue(logits *tensor.Tensor, target Target) float64 {
+	if target.Dense == nil || !logits.SameShape(target.Dense) {
+		panic("nn: BCEWithLogits needs dense targets matching logits shape")
+	}
+	ld, td := logits.Data(), target.Dense.Data()
+	var loss float64
+	invM := 1 / float64(len(ld))
+	for i, z := range ld {
+		t := float64(td[i])
+		zf := float64(z)
+		loss += (math.Max(zf, 0) - zf*t + math.Log1p(math.Exp(-math.Abs(zf)))) * invM
+	}
+	return loss
+}
+
 // Name implements Loss.
 func (BCEWithLogits) Name() string { return "BCEWithLogits" }
 
@@ -160,12 +238,31 @@ func (MSE) EvalInto(grad, pred *tensor.Tensor, target Target) float64 {
 	return loss
 }
 
+// EvalValue implements LossValuer: EvalInto's loss accumulation without the
+// residual-gradient writes.
+func (MSE) EvalValue(pred *tensor.Tensor, target Target) float64 {
+	if target.Dense == nil || pred.Size() != target.Dense.Size() {
+		panic("nn: MSE needs dense targets matching prediction size")
+	}
+	pd, td := pred.Data(), target.Dense.Data()
+	var loss float64
+	invM := 1 / float64(len(pd))
+	for i := range pd {
+		d := float64(pd[i]) - float64(td[i])
+		loss += d * d * invM
+	}
+	return loss
+}
+
 // Name implements Loss.
 func (MSE) Name() string { return "MSE" }
 
 // interface conformance checks
 var (
-	_ LossInto = SoftmaxCrossEntropy{}
-	_ LossInto = BCEWithLogits{}
-	_ LossInto = MSE{}
+	_ LossInto   = SoftmaxCrossEntropy{}
+	_ LossInto   = BCEWithLogits{}
+	_ LossInto   = MSE{}
+	_ LossValuer = SoftmaxCrossEntropy{}
+	_ LossValuer = BCEWithLogits{}
+	_ LossValuer = MSE{}
 )

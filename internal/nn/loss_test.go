@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"testing"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/tensor"
+)
+
+// The value-only loss path must be bit-identical to the gradient path's loss
+// accumulation: EvalValue is the contract consumers like fl.EvalLoss rely on
+// when they skip the gradient on pure inference.
+func TestEvalValueMatchesEvalInto(t *testing.T) {
+	r := frand.New(41)
+	logits := tensor.Randn(r, 3, 16, 5)
+	classes := []int{4, 0, 2, 1, 3, 4, 0, 1, 2, 3, 0, 4, 1, 2, 3, 0}
+	dense := tensor.New(16, 5)
+	for i := range dense.Data() {
+		if r.Float64() < 0.4 {
+			dense.Data()[i] = 1
+		}
+	}
+	preds := tensor.Randn(r, 2, 16, 5)
+
+	cases := []struct {
+		name   string
+		loss   LossValuer
+		pred   *tensor.Tensor
+		target Target
+	}{
+		{"softmax-ce", SoftmaxCrossEntropy{}, logits, ClassTarget(classes)},
+		{"bce-logits", BCEWithLogits{}, logits, DenseTarget(dense)},
+		{"mse", MSE{}, preds, DenseTarget(dense)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			grad := tensor.New(tc.pred.Shape()...)
+			want := tc.loss.(LossInto).EvalInto(grad, tc.pred, tc.target)
+			got := tc.loss.EvalValue(tc.pred, tc.target)
+			if got != want {
+				t.Fatalf("EvalValue = %v, EvalInto loss = %v (must be bit-identical)", got, want)
+			}
+			// LossValue must pick the value-only path: the grad thunk is never
+			// invoked for a LossValuer.
+			called := false
+			lv := LossValue(tc.loss, func() *tensor.Tensor { called = true; return grad }, tc.pred, tc.target)
+			if lv != want {
+				t.Fatalf("LossValue = %v, want %v", lv, want)
+			}
+			if called {
+				t.Fatal("LossValue materialized a gradient buffer for a LossValuer")
+			}
+		})
+	}
+}
+
+// EvalValue must allocate nothing: it is the per-batch hot path of every
+// eval sweep.
+func TestEvalValueZeroAlloc(t *testing.T) {
+	r := frand.New(43)
+	logits := tensor.Randn(r, 3, 8, 4)
+	target := ClassTarget([]int{0, 1, 2, 3, 0, 1, 2, 3})
+	var sink float64
+	allocs := testing.AllocsPerRun(50, func() {
+		sink += SoftmaxCrossEntropy{}.EvalValue(logits, target)
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalValue allocates %v per call, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// histBuckets spans 2^histMinExp up to 2^(histMinExp+histBuckets-2) in
+// power-of-two buckets, with bucket 0 catching everything below and the last
+// bucket everything above — wide enough for any virtual latency a sane
+// service model produces.
+const (
+	histBuckets = 64
+	histMinExp  = -30
+)
+
+// Histogram is a fixed power-of-two-bucket latency histogram. Bucketing uses
+// math.Frexp — pure exponent extraction, no transcendental whose libm could
+// vary — so two runs with identical latencies produce byte-identical String
+// output; the CI smoke diffs exactly that.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+}
+
+// Add records one latency observation.
+func (h *Histogram) Add(d float64) {
+	h.counts[bucketOf(d)]++
+	h.total++
+}
+
+// bucketOf maps a latency to its bucket: b such that d ∈ [2^(histMinExp+b-1),
+// 2^(histMinExp+b)), clamped at both ends.
+func bucketOf(d float64) int {
+	if d <= 0 {
+		return 0
+	}
+	_, exp := math.Frexp(d) // d = frac × 2^exp, frac ∈ [0.5, 1)
+	b := exp - histMinExp
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Equal reports whether two histograms are identical bucket by bucket.
+func (h *Histogram) Equal(o *Histogram) bool { return h.counts == o.counts && h.total == o.total }
+
+// String renders the non-empty buckets as "[lo, hi): count" lines — the
+// bit-diffable artifact the CI smoke compares across runs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency histogram (%d requests)\n", h.total)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo := math.Ldexp(1, histMinExp+i-1)
+		hi := math.Ldexp(1, histMinExp+i)
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "  [0, %g): %d\n", hi, c)
+		case histBuckets - 1:
+			fmt.Fprintf(&b, "  [%g, +inf): %d\n", lo, c)
+		default:
+			fmt.Fprintf(&b, "  [%g, %g): %d\n", lo, hi, c)
+		}
+	}
+	return b.String()
+}
+
+// Report is one load run's deterministic summary: throughput and exact
+// order-statistic latency quantiles in virtual time, batching efficiency,
+// and an FNV-1a digest of every request's output in request order — the
+// value two runs (or two intra-op budgets) must reproduce bit-for-bit.
+type Report struct {
+	Requests    int
+	Batches     int
+	MeanBatch   float64
+	VirtualTime float64
+	// Throughput is Requests / VirtualTime (virtual requests per time unit).
+	Throughput   float64
+	MeanLatency  float64
+	P50, P95, P99 float64
+	OutputDigest uint64
+	Hist         Histogram
+}
+
+// quantiles fills the report's latency summary from the raw per-request
+// latencies (exact sorted order statistics, not histogram interpolation).
+func (r *Report) quantiles(lat []float64) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, d := range sorted {
+		sum += d
+	}
+	r.MeanLatency = sum / float64(len(sorted))
+	pick := func(q float64) float64 {
+		return sorted[int(q*float64(len(sorted)-1))]
+	}
+	r.P50, r.P95, r.P99 = pick(0.50), pick(0.95), pick(0.99)
+}
+
+// String renders the summary; like the histogram it is deterministic, so the
+// CI smoke can diff two runs' full stdout.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d batches=%d mean_batch=%.6g\n", r.Requests, r.Batches, r.MeanBatch)
+	fmt.Fprintf(&b, "virtual_time=%.6g throughput=%.6g req/unit\n", r.VirtualTime, r.Throughput)
+	fmt.Fprintf(&b, "latency mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n", r.MeanLatency, r.P50, r.P95, r.P99)
+	fmt.Fprintf(&b, "output_digest=%016x\n", r.OutputDigest)
+	b.WriteString(r.Hist.String())
+	return b.String()
+}

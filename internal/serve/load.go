@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/simclock"
+	"heteroswitch/internal/tensor"
+)
+
+// LoadConfig describes one deterministic load run.
+type LoadConfig struct {
+	// Requests is the total number of requests to serve.
+	Requests int
+	// Concurrency is the closed-loop client population (each keeps one
+	// request outstanding). Ignored by open-loop arrival models.
+	Concurrency int
+	// Arrival generates the request process. nil means ClosedLoop{} —
+	// zero-think clients, the saturation regime.
+	Arrival ArrivalModel
+	// Service prices a batch's virtual execution time. nil means
+	// AffineService{Base: 1, PerItem: 0.25}.
+	Service ServiceModel
+	// Seed seeds the request-content stream and any nil models.
+	Seed uint64
+	// PublishEvery republishes the model (same values, new version) every N
+	// completed batches, exercising version-cache churn: replica reloads and
+	// refcount handoff with zero effect on outputs. 0 disables.
+	PublishEvery int
+	// Inputs is the request content bank: request i sends Inputs[i % len].
+	// All tensors must share one shape (a single sample, no batch dim).
+	Inputs []*tensor.Tensor
+}
+
+// withDefaults resolves nil models and zero fields.
+func (lc LoadConfig) withDefaults() LoadConfig {
+	if lc.Arrival == nil {
+		lc.Arrival = ClosedLoop{Seed: lc.Seed}
+	}
+	if lc.Service == nil {
+		lc.Service = AffineService{Base: 1, PerItem: 0.25}
+	}
+	if lc.Concurrency == 0 {
+		lc.Concurrency = 1
+	}
+	return lc
+}
+
+// Event kinds of the load simulation.
+const (
+	evArrival = iota // a request enters the micro-batcher
+	evDeadline       // a forming batch's latency budget expires
+	evDone           // a worker finishes a batch's virtual service time
+)
+
+// simEvent is one scheduled occurrence, keyed by its simclock event ID.
+type simEvent struct {
+	kind int
+	req  int    // evArrival: request id
+	gen  int    // evDeadline: forming-batch generation at schedule time
+	b    *batch // evDone: the serviced batch
+}
+
+// batch is one flushed micro-batch: request ids pinned to the model version
+// current at flush, plus the replica executing it.
+type batch struct {
+	ids     []int
+	version int
+	w       nn.Weights
+	rep     *nn.Replica
+}
+
+// loadState is the single-goroutine virtual-time simulation behind RunLoad,
+// structured as beginLoad + step so white-box tests can assert the warm
+// steady-state step is allocation-free.
+type loadState struct {
+	lc  LoadConfig
+	srv *Server
+	err error
+
+	clock  simclock.Clock
+	seq    int
+	events map[int]simEvent
+
+	// Request bookkeeping, preallocated for all lc.Requests.
+	nextReq    int
+	arrTime    []float64
+	lat        []float64
+	outs       []float32
+	outDim     int
+	sampleSize int
+	done       int
+	reqClient  []int32
+	clientStep []int
+
+	// The forming batch; formGen invalidates stale deadline events.
+	forming []int
+	formGen int
+
+	// Batch execution: a free stack of recycled batch structs, a FIFO queue
+	// of flushed batches waiting for a worker, and the busy-worker count.
+	freeBatches []*batch
+	queue       []*batch
+	qhead       int
+	busy        int
+	batchSeq    int
+	batchesDone int
+	sizeSum     int
+
+	// staging[n-1] is the [n, sample...] input tensor batches of size n are
+	// assembled into before the frozen forward.
+	staging []*tensor.Tensor
+
+	hist Histogram
+}
+
+// RunLoad executes one deterministic load run to completion and returns its
+// report. Same LoadConfig (and server Config) ⇒ bit-identical report,
+// including per-request outputs, at every intra-op budget.
+func (s *Server) RunLoad(lc LoadConfig) (Report, error) {
+	if err := s.beginLoad(lc); err != nil {
+		return Report{}, err
+	}
+	for s.step() {
+	}
+	if s.ld.err != nil {
+		return Report{}, s.ld.err
+	}
+	return s.ld.report(), nil
+}
+
+// beginLoad validates the config, preallocates every steady-state buffer,
+// warms the replicas (arena, frozen fold, im2col scratch), and schedules the
+// initial arrivals.
+func (s *Server) beginLoad(lc LoadConfig) error {
+	lc = lc.withDefaults()
+	if lc.Requests < 1 {
+		return fmt.Errorf("serve: load needs at least 1 request, have %d", lc.Requests)
+	}
+	if len(lc.Inputs) == 0 {
+		return fmt.Errorf("serve: load needs a non-empty input bank")
+	}
+	ld := &s.ld
+	*ld = loadState{lc: lc, srv: s}
+	ld.events = make(map[int]simEvent)
+	ld.sampleSize = lc.Inputs[0].Size()
+	for _, x := range lc.Inputs {
+		if x.Size() != ld.sampleSize {
+			return fmt.Errorf("serve: input bank shapes differ")
+		}
+	}
+
+	// Staging tensors for every batch size, plus a warmup forward per size on
+	// EVERY replica, so each worker's arena, frozen fold, and im2col scratch
+	// hold every shape before time starts — the steady-state event loop then
+	// allocates nothing.
+	sample := lc.Inputs[0].Shape()
+	ld.staging = make([]*tensor.Tensor, s.cfg.MaxBatch)
+	shape := append([]int{0}, sample...)
+	for n := 1; n <= s.cfg.MaxBatch; n++ {
+		shape[0] = n
+		ld.staging[n-1] = tensor.New(shape...)
+		for r := 0; r < n; r++ {
+			copy(ld.staging[n-1].Data()[r*ld.sampleSize:], lc.Inputs[r%len(lc.Inputs)].Data())
+		}
+	}
+	v, w := s.store.Acquire()
+	reps := make([]*nn.Replica, s.pool.Size())
+	for i := range reps {
+		reps[i] = s.pool.Get()
+		if err := reps[i].Ensure(v, w); err != nil {
+			for _, r := range reps[:i+1] {
+				s.pool.Put(r)
+			}
+			s.store.Release(v)
+			return err
+		}
+		for n := 1; n <= s.cfg.MaxBatch; n++ {
+			out := reps[i].Infer(ld.staging[n-1])
+			ld.outDim = out.Size() / n
+		}
+	}
+	for _, r := range reps {
+		s.pool.Put(r)
+	}
+	s.store.Release(v)
+
+	ld.arrTime = make([]float64, lc.Requests)
+	ld.lat = make([]float64, lc.Requests)
+	ld.outs = make([]float32, lc.Requests*ld.outDim)
+	ld.forming = make([]int, 0, s.cfg.MaxBatch)
+	prealloc := s.cfg.Workers + lc.Concurrency + 4
+	if prealloc > lc.Requests {
+		prealloc = lc.Requests
+	}
+	for i := 0; i < prealloc; i++ {
+		ld.freeBatches = append(ld.freeBatches, &batch{ids: make([]int, 0, s.cfg.MaxBatch)})
+	}
+
+	if lc.Arrival.Closed() {
+		clients := lc.Concurrency
+		if clients > lc.Requests {
+			clients = lc.Requests
+		}
+		ld.reqClient = make([]int32, lc.Requests)
+		ld.clientStep = make([]int, clients)
+		for c := 0; c < clients; c++ {
+			id := ld.nextReq
+			ld.nextReq++
+			ld.reqClient[id] = int32(c)
+			ld.schedule(lc.Arrival.Delay(c, 0), simEvent{kind: evArrival, req: id})
+			ld.clientStep[c] = 1
+		}
+	} else {
+		ld.nextReq = 1
+		ld.schedule(lc.Arrival.Delay(0, 0), simEvent{kind: evArrival, req: 0})
+	}
+	return nil
+}
+
+// schedule enqueues ev after delay; the monotonic seq doubles as the
+// deterministic tie-break at equal virtual instants.
+func (ld *loadState) schedule(delay float64, ev simEvent) {
+	id := ld.seq
+	ld.seq++
+	ld.events[id] = ev
+	ld.clock.Schedule(ld.clock.Now()+delay, id)
+}
+
+// step pops and handles one event. It returns false once every request has
+// completed (or on an execution error); leftover stale deadlines are
+// discarded with the clock.
+func (s *Server) step() bool {
+	ld := &s.ld
+	if ld.done >= ld.lc.Requests || ld.err != nil {
+		return false
+	}
+	ev, ok := ld.clock.Next()
+	if !ok {
+		ld.err = fmt.Errorf("serve: event queue drained with %d/%d requests done", ld.done, ld.lc.Requests)
+		return false
+	}
+	e := ld.events[ev.ID]
+	delete(ld.events, ev.ID)
+	switch e.kind {
+	case evArrival:
+		ld.onArrival(e.req)
+	case evDeadline:
+		if e.gen == ld.formGen && len(ld.forming) > 0 {
+			ld.flush()
+		}
+	case evDone:
+		ld.onDone(e.b)
+	}
+	return ld.done < ld.lc.Requests && ld.err == nil
+}
+
+// onArrival admits one request to the forming batch, flushing at MaxBatch
+// and arming the budget deadline when the batch opens.
+func (ld *loadState) onArrival(req int) {
+	ld.arrTime[req] = ld.clock.Now()
+	if !ld.lc.Arrival.Closed() && ld.nextReq <= ld.lc.Requests-1 {
+		// Chain the open-loop process: arrival i schedules arrival i+1.
+		id := ld.nextReq
+		ld.nextReq++
+		ld.schedule(ld.lc.Arrival.Delay(0, id), simEvent{kind: evArrival, req: id})
+	}
+	if len(ld.forming) == 0 && ld.srv.cfg.MaxBatch > 1 {
+		// Arm the budget deadline when the batch opens. A zero budget still
+		// coalesces: the deadline lands at this same virtual instant but after
+		// every already-scheduled event here (larger event ID), so simultaneous
+		// arrivals join the batch first.
+		ld.schedule(ld.srv.cfg.BatchBudget, simEvent{kind: evDeadline, gen: ld.formGen})
+	}
+	ld.forming = append(ld.forming, req)
+	if len(ld.forming) >= ld.srv.cfg.MaxBatch {
+		ld.flush()
+	}
+}
+
+// flush pins the forming batch to the current model version and hands it to
+// an idle worker, or queues it FIFO when all workers are busy.
+func (ld *loadState) flush() {
+	b := ld.getBatch()
+	b.ids = append(b.ids[:0], ld.forming...)
+	b.version, b.w = ld.srv.store.Acquire()
+	ld.forming = ld.forming[:0]
+	ld.formGen++
+	if ld.busy < ld.srv.cfg.Workers {
+		ld.startService(b)
+	} else {
+		ld.queue = append(ld.queue, b)
+	}
+}
+
+// startService executes the batch NOW (the compute is real: assemble inputs,
+// ensure the replica serves the pinned version, run the frozen forward, copy
+// outputs out by request id) and schedules its completion at now + the
+// service model's virtual duration.
+func (ld *loadState) startService(b *batch) {
+	ld.busy++
+	rep := ld.srv.pool.Get()
+	b.rep = rep
+	if err := rep.Ensure(b.version, b.w); err != nil {
+		ld.err = err
+		return
+	}
+	n := len(b.ids)
+	x := ld.staging[n-1]
+	for r, id := range b.ids {
+		copy(x.Data()[r*ld.sampleSize:(r+1)*ld.sampleSize], ld.lc.Inputs[id%len(ld.lc.Inputs)].Data())
+	}
+	out := rep.Infer(x).Data()
+	for r, id := range b.ids {
+		copy(ld.outs[id*ld.outDim:(id+1)*ld.outDim], out[r*ld.outDim:(r+1)*ld.outDim])
+	}
+	seq := ld.batchSeq
+	ld.batchSeq++
+	ld.schedule(ld.lc.Service.Batch(n, seq), simEvent{kind: evDone, b: b})
+}
+
+// onDone retires a completed batch: record latencies, feed the closed loop,
+// release the version pin and the replica, then pull queued work onto the
+// freed worker. Version churn (PublishEvery) fires here, after the forming
+// batch is flushed under its admission version.
+func (ld *loadState) onDone(b *batch) {
+	now := ld.clock.Now()
+	ld.busy--
+	for _, id := range b.ids {
+		d := now - ld.arrTime[id]
+		ld.lat[id] = d
+		ld.hist.Add(d)
+		ld.done++
+		if ld.lc.Arrival.Closed() && ld.nextReq < ld.lc.Requests {
+			c := int(ld.reqClient[id])
+			nid := ld.nextReq
+			ld.nextReq++
+			ld.reqClient[nid] = int32(c)
+			ld.schedule(ld.lc.Arrival.Delay(c, ld.clientStep[c]), simEvent{kind: evArrival, req: nid})
+			ld.clientStep[c]++
+		}
+	}
+	ld.srv.store.Release(b.version)
+	ld.srv.pool.Put(b.rep)
+	b.rep = nil
+	b.w = nn.Weights{}
+	ld.batchesDone++
+	ld.sizeSum += len(b.ids)
+	ld.putBatch(b)
+
+	if pe := ld.lc.PublishEvery; pe > 0 && ld.batchesDone%pe == 0 {
+		if len(ld.forming) > 0 {
+			ld.flush() // the forming batch belongs to the pre-publish version
+		}
+		ld.srv.store.Republish()
+	}
+	for ld.busy < ld.srv.cfg.Workers && ld.qhead < len(ld.queue) {
+		nb := ld.queue[ld.qhead]
+		ld.queue[ld.qhead] = nil
+		ld.qhead++
+		if ld.qhead == len(ld.queue) {
+			ld.queue = ld.queue[:0]
+			ld.qhead = 0
+		}
+		ld.startService(nb)
+	}
+}
+
+// getBatch pops the batch free stack (growing it only when the preallocated
+// set is exhausted — open-loop overload).
+func (ld *loadState) getBatch() *batch {
+	if n := len(ld.freeBatches); n > 0 {
+		b := ld.freeBatches[n-1]
+		ld.freeBatches[n-1] = nil
+		ld.freeBatches = ld.freeBatches[:n-1]
+		return b
+	}
+	return &batch{ids: make([]int, 0, ld.srv.cfg.MaxBatch)}
+}
+
+// putBatch returns a batch struct to the free stack.
+func (ld *loadState) putBatch(b *batch) { ld.freeBatches = append(ld.freeBatches, b) }
+
+// report summarizes the completed run.
+func (ld *loadState) report() Report {
+	r := Report{
+		Requests:    ld.done,
+		Batches:     ld.batchesDone,
+		VirtualTime: ld.clock.Now(),
+		Hist:        ld.hist,
+	}
+	if ld.batchesDone > 0 {
+		r.MeanBatch = float64(ld.sizeSum) / float64(ld.batchesDone)
+	}
+	if r.VirtualTime > 0 {
+		r.Throughput = float64(ld.done) / r.VirtualTime
+	}
+	r.quantiles(ld.lat[:ld.done])
+	r.OutputDigest = digest(ld.outs)
+	return r
+}
+
+// digest is FNV-1a over the float32 bit patterns in request order — the
+// cheap bit-identity witness for "same outputs".
+func digest(vals []float32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		bits := math.Float32bits(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(bits>>s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/parallel"
+	"heteroswitch/internal/tensor"
+)
+
+// Config carries the serving knobs.
+type Config struct {
+	// MaxBatch is the micro-batcher's flush threshold: a forming batch
+	// executes as soon as it holds MaxBatch requests. 0 means 8.
+	MaxBatch int
+	// BatchBudget is the virtual time a partial batch waits for more
+	// requests before flushing, measured from its first request's admission.
+	// 0 still coalesces requests arriving at the same virtual instant.
+	BatchBudget float64
+	// Workers is the number of batches executing concurrently, each on its
+	// own frozen replica. 0 means 1.
+	Workers int
+	// IntraOp is the total intra-op core budget, split evenly across
+	// workers (each replica gets at least 1). 0 means the machine
+	// (parallel.Workers()).
+	IntraOp int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.IntraOp == 0 {
+		c.IntraOp = parallel.Workers()
+	}
+	return c
+}
+
+// validate reports configuration errors (after withDefaults).
+func (c Config) validate() error {
+	if c.MaxBatch < 1 || c.Workers < 1 || c.IntraOp < 1 {
+		return fmt.Errorf("serve: non-positive max-batch/workers/intraop: %d/%d/%d",
+			c.MaxBatch, c.Workers, c.IntraOp)
+	}
+	if c.BatchBudget < 0 {
+		return fmt.Errorf("serve: negative batch budget %g", c.BatchBudget)
+	}
+	return nil
+}
+
+// Server owns the serving stack: the refcounted version store, one frozen
+// replica per worker, and the micro-batcher state of the load harness.
+// Publish/Republish and PredictInto are safe for concurrent use; the load
+// harness (RunLoad) drives the whole stack from one goroutine in virtual
+// time and must not run concurrently with itself.
+type Server struct {
+	cfg   Config
+	store *Store
+	pool  *nn.ReplicaPool
+
+	ld loadState
+}
+
+// NewServer builds a serving stack for the model builder, publishing w as
+// version 0. Each of cfg.Workers replicas is granted IntraOp/Workers cores
+// (at least 1), mirroring fl's intra-op share so total kernel parallelism
+// never oversubscribes the budget.
+func NewServer(build func() *nn.Network, w nn.Weights, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	share := cfg.IntraOp / cfg.Workers
+	if share < 1 {
+		share = 1
+	}
+	return &Server{
+		cfg:   cfg,
+		store: NewStore(w),
+		pool:  nn.NewReplicaPool(cfg.Workers, build, share),
+	}, nil
+}
+
+// Store exposes the version store (for publishing trained weights).
+func (s *Server) Store() *Store { return s.store }
+
+// PredictInto serves one request synchronously on the calling goroutine: it
+// pins the current model version, borrows a replica (blocking while all
+// Workers replicas are busy — the pool is the admission valve), runs the
+// frozen forward, and copies the outputs into dst. It returns the version
+// that served the request and the number of values written. Concurrent
+// callers race only for replicas; the version pin guarantees each request is
+// served end-to-end by the exact version current at its admission, even
+// while Publish runs.
+func (s *Server) PredictInto(dst []float32, x *tensor.Tensor) (version, n int, err error) {
+	v, w := s.store.Acquire()
+	defer s.store.Release(v)
+	rep := s.pool.Get()
+	defer s.pool.Put(rep)
+	if err := rep.Ensure(v, w); err != nil {
+		return 0, 0, err
+	}
+	out := rep.Infer(x)
+	return v, copy(dst, out.Data()), nil
+}

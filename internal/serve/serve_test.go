@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"heteroswitch/internal/frand"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/tensor"
+)
+
+// testBuilder is a conv+BN model so the frozen fold is exercised on every
+// version reload.
+func testBuilder() func() *nn.Network {
+	return func() *nn.Network {
+		r := frand.New(7)
+		return nn.NewNetwork(
+			nn.NewConv2D(r, 1, 4, 3, 1, 1, 1),
+			nn.NewBatchNorm2D(4),
+			nn.NewReLU(),
+			nn.NewGlobalAvgPool(),
+			nn.NewDense(r, 4, 3),
+		)
+	}
+}
+
+func testWeights(t testing.TB) nn.Weights {
+	t.Helper()
+	return testBuilder()().Snapshot()
+}
+
+func testInputs(n int) []*tensor.Tensor {
+	r := frand.New(17)
+	bank := make([]*tensor.Tensor, n)
+	for i := range bank {
+		bank[i] = tensor.Randn(r, 0.5, 1, 8, 8)
+	}
+	return bank
+}
+
+func testServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(testBuilder(), testWeights(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustLoad(t testing.TB, cfg Config, lc LoadConfig) Report {
+	t.Helper()
+	rep, err := testServer(t, cfg).RunLoad(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func requireSameReport(t *testing.T, a, b Report, what string) {
+	t.Helper()
+	if a.OutputDigest != b.OutputDigest {
+		t.Fatalf("%s: output digests differ: %016x vs %016x", what, a.OutputDigest, b.OutputDigest)
+	}
+	if !a.Hist.Equal(&b.Hist) {
+		t.Fatalf("%s: latency histograms differ:\n%s\nvs\n%s", what, a.Hist.String(), b.Hist.String())
+	}
+	if a.P50 != b.P50 || a.P95 != b.P95 || a.P99 != b.P99 || a.MeanLatency != b.MeanLatency {
+		t.Fatalf("%s: quantiles differ: %+v vs %+v", what, a, b)
+	}
+	if a.VirtualTime != b.VirtualTime || a.Batches != b.Batches || a.Requests != b.Requests {
+		t.Fatalf("%s: schedules differ: %+v vs %+v", what, a, b)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("%s: rendered reports differ", what)
+	}
+}
+
+// Two runs with the same seed and config must be bit-identical end to end:
+// per-request outputs (the digest), the full latency histogram, and every
+// quantile. This is the harness's reproducibility contract.
+func TestLoadDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{MaxBatch: 4, BatchBudget: 0.5, Workers: 2, IntraOp: 2}
+	lc := LoadConfig{
+		Requests:    300,
+		Concurrency: 8,
+		Arrival:     ClosedLoop{Think: 0.5, Seed: 9},
+		Service:     AffineService{Base: 1, PerItem: 0.25},
+		Inputs:      testInputs(16),
+	}
+	a := mustLoad(t, cfg, lc)
+	b := mustLoad(t, cfg, lc)
+	requireSameReport(t, a, b, "same seed")
+	if a.Requests != lc.Requests {
+		t.Fatalf("served %d requests, want %d", a.Requests, lc.Requests)
+	}
+
+	// Outputs are content-determined (request i always sends Inputs[i%B]), so
+	// a different arrival seed must leave the digest alone but move the
+	// schedule.
+	lc.Arrival = ClosedLoop{Think: 0.5, Seed: 10}
+	c := mustLoad(t, cfg, lc)
+	if c.OutputDigest != a.OutputDigest {
+		t.Fatal("arrival seed changed request outputs")
+	}
+	if c.VirtualTime == a.VirtualTime && c.MeanLatency == a.MeanLatency {
+		t.Fatal("different arrival seed produced an identical schedule (seed not wired through)")
+	}
+}
+
+// The frozen replicas are bit-identical at every intra-op budget and the
+// schedule is virtual, so the ENTIRE report — outputs, histogram, quantiles,
+// virtual time — must be invariant across -intraop. This is the serving
+// analogue of the kernel layer's determinism contract.
+func TestLoadBitIdenticalAcrossIntraOp(t *testing.T) {
+	lc := LoadConfig{
+		Requests:    200,
+		Concurrency: 6,
+		Arrival:     ClosedLoop{Think: 0.2, Seed: 3},
+		Service:     AffineService{Base: 1, PerItem: 0.5},
+		Inputs:      testInputs(16),
+	}
+	base := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: 1}, lc)
+	for _, intraop := range []int{2, 4, 8} {
+		got := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: intraop}, lc)
+		requireSameReport(t, base, got, "intraop")
+	}
+}
+
+// Version churn with identical values must be output-invariant: PublishEvery
+// forces replica reloads, early flushes (a forming batch always executes
+// under its admission version), and refcount handoff mid-run — the schedule
+// may legally shift, but every request's output bits stay the same, churned
+// runs stay bit-reproducible, and retired versions recycle instead of
+// accumulating.
+func TestLoadVersionChurnInvariant(t *testing.T) {
+	cfg := Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: 1}
+	lc := LoadConfig{
+		Requests:    240,
+		Concurrency: 8,
+		Arrival:     ClosedLoop{Think: 0.1, Seed: 5},
+		Service:     AffineService{Base: 1, PerItem: 0.25},
+		Inputs:      testInputs(16),
+	}
+	quiet := mustLoad(t, cfg, lc)
+
+	lc.PublishEvery = 3
+	srv := testServer(t, cfg)
+	churn, err := srv.RunLoad(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.OutputDigest != quiet.OutputDigest {
+		t.Fatalf("version churn changed outputs: %016x vs %016x", churn.OutputDigest, quiet.OutputDigest)
+	}
+	churn2 := mustLoad(t, cfg, lc)
+	requireSameReport(t, churn, churn2, "churned run reproducibility")
+	if srv.Store().Version() == 0 {
+		t.Fatal("PublishEvery never published")
+	}
+	if live := srv.Store().Live(); live > 2 {
+		t.Fatalf("%d versions still resident after the run; churned versions must recycle", live)
+	}
+}
+
+// Micro-batching must actually batch: saturating closed-loop clients with a
+// zero think time coalesce up to MaxBatch, and MaxBatch=1 degenerates to
+// one batch per request.
+func TestMicroBatchCoalescing(t *testing.T) {
+	lc := LoadConfig{
+		Requests:    128,
+		Concurrency: 8,
+		Arrival:     ClosedLoop{Think: 0, Seed: 2},
+		Service:     AffineService{Base: 1, PerItem: 0.25},
+		Inputs:      testInputs(8),
+	}
+	batched := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.5, Workers: 1, IntraOp: 1}, lc)
+	if batched.MeanBatch < 2 {
+		t.Fatalf("mean batch %v under saturation; micro-batcher never coalesced", batched.MeanBatch)
+	}
+	single := mustLoad(t, Config{MaxBatch: 1, Workers: 1, IntraOp: 1}, lc)
+	if single.Batches != lc.Requests {
+		t.Fatalf("MaxBatch=1 produced %d batches for %d requests", single.Batches, lc.Requests)
+	}
+	if batched.OutputDigest != single.OutputDigest {
+		t.Fatal("batch size changed request outputs (row independence broken)")
+	}
+	// Amortizing Base over batches must beat serial dispatch on throughput.
+	if batched.Throughput <= single.Throughput {
+		t.Fatalf("batching throughput %v not above serial %v despite Base=1 amortization",
+			batched.Throughput, single.Throughput)
+	}
+}
+
+// Open-loop arrivals: the chained process serves exactly Requests requests
+// and reproduces bit-identically, like the closed loop.
+func TestLoadOpenLoop(t *testing.T) {
+	cfg := Config{MaxBatch: 4, BatchBudget: 0.4, Workers: 2, IntraOp: 1}
+	lc := LoadConfig{
+		Requests: 200,
+		Arrival:  OpenLoop{Rate: 2, Seed: 11},
+		Service:  AffineService{Base: 0.5, PerItem: 0.25},
+		Inputs:   testInputs(16),
+	}
+	a := mustLoad(t, cfg, lc)
+	b := mustLoad(t, cfg, lc)
+	requireSameReport(t, a, b, "open loop")
+	if a.Requests != lc.Requests {
+		t.Fatalf("served %d requests, want %d", a.Requests, lc.Requests)
+	}
+}
+
+// The steady-state event loop — admission, batching, real frozen inference,
+// completion, closed-loop rescheduling — must be allocation-free once
+// beginLoad's warmup has populated every pool. This is the serving side of
+// the repo's 0-alloc hot-path contract.
+func TestLoadSteadyStateZeroAlloc(t *testing.T) {
+	srv := testServer(t, Config{MaxBatch: 4, BatchBudget: 0.2, Workers: 2, IntraOp: 1})
+	lc := LoadConfig{
+		Requests:    50000,
+		Concurrency: 8,
+		Arrival:     ClosedLoop{Think: 0.1, Seed: 13},
+		Service:     AffineService{Base: 1, PerItem: 0.25},
+		Inputs:      testInputs(16),
+	}
+	if err := srv.beginLoad(lc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ { // warm the event map, heap, queue, and arenas
+		if !srv.step() {
+			t.Fatal("run finished during warmup; raise Requests")
+		}
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		srv.step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state step allocates %v/op, want 0", allocs)
+	}
+}
+
+// PredictInto under real concurrency: many goroutines share the replica pool
+// while the store republishes (same values, new versions) — outputs must
+// match the serial reference bit-for-bit and the version refcounts must
+// drain. Run with -race this is the front door's data-race test.
+func TestPredictIntoConcurrent(t *testing.T) {
+	srv := testServer(t, Config{MaxBatch: 4, Workers: 3, IntraOp: 1})
+	// PredictInto takes the input as-is: shape it as a batch of one.
+	inputs := testInputs(8)
+	for i, x := range inputs {
+		inputs[i] = tensor.FromSlice(x.Data(), 1, 1, 8, 8)
+	}
+
+	ref := nn.NewReplica(testBuilder(), 1)
+	_, w := srv.Store().Acquire()
+	if err := ref.Ensure(0, w); err != nil {
+		t.Fatal(err)
+	}
+	srv.Store().Release(0)
+	want := make([][]float32, len(inputs))
+	for i, x := range inputs {
+		want[i] = append([]float32(nil), ref.Infer(x).Data()...)
+	}
+
+	const goroutines, perG = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]float32, len(want[0]))
+			for i := 0; i < perG; i++ {
+				k := (g + i) % len(inputs)
+				if _, _, err := srv.PredictInto(dst, inputs[k]); err != nil {
+					errs <- err
+					return
+				}
+				for j := range dst {
+					if dst[j] != want[k][j] {
+						t.Errorf("goroutine %d: output[%d] = %v, want %v", g, j, dst[j], want[k][j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ {
+		srv.Store().Republish()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if live := srv.Store().Live(); live != 1 {
+		t.Fatalf("%d versions resident after all requests drained, want 1", live)
+	}
+}
+
+// ParseArrival specs round-trip and bad specs fail loudly.
+func TestParseArrival(t *testing.T) {
+	m, err := ParseArrival("closed:0.5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl, ok := m.(ClosedLoop); !ok || cl.Think != 0.5 || cl.Seed != 3 || !m.Closed() {
+		t.Fatalf("closed:0.5 parsed to %#v", m)
+	}
+	m, err = ParseArrival("open:12", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ol, ok := m.(OpenLoop); !ok || ol.Rate != 12 || m.Closed() {
+		t.Fatalf("open:12 parsed to %#v", m)
+	}
+	for _, bad := range []string{"open:0", "open:-1", "closed:-2", "uniform:1", "open:x"} {
+		if _, err := ParseArrival(bad, 1); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}

@@ -68,6 +68,12 @@ func (m StragglerTail) Sample(id, step int) float64 {
 // latency stream so both draw independently from one seed.
 const stragglerSalt = 0x5742_11d6_37c8_90a1
 
+// Hash01 hashes (seed, a, b) to a uniform float64 in [0, 1): the package's
+// stateless draw, exported for other virtual-time harnesses (internal/serve's
+// arrival models) so every simulator shares one reproducible randomness
+// primitive.
+func Hash01(seed uint64, a, b int) float64 { return unit(seed, a, b) }
+
 // unit hashes (seed, a, b) to a uniform float64 in [0, 1) with no allocation
 // and no mutable state (SplitMix64 finalizer over a mixed key).
 func unit(seed uint64, a, b int) float64 {
