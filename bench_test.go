@@ -309,9 +309,23 @@ func BenchmarkEval(b *testing.B) {
 		}},
 	}
 	for _, tc := range cases {
-		for _, mode := range []string{"fused", "reference"} {
+		// The fused path runs under both kernel backends (the packed-vs-serial
+		// delta is the packed backend's acceptance number); the reference
+		// layer-by-layer forward only ever uses the oracle entry points, so it
+		// gets a single serial arm.
+		for _, arm := range []struct {
+			mode    string
+			backend tensor.Backend
+		}{
+			{"fused-serial", tensor.BackendSerial},
+			{"fused-packed", tensor.BackendPacked},
+			{"reference", tensor.BackendSerial},
+		} {
 			for _, par := range []int{1, 2, 4, 8} {
-				b.Run(fmt.Sprintf("%s/%s/intraop=%d", tc.name, mode, par), func(b *testing.B) {
+				b.Run(fmt.Sprintf("%s/%s/intraop=%d", tc.name, arm.mode, par), func(b *testing.B) {
+					prev := tensor.ActiveBackend()
+					tensor.SetBackend(arm.backend)
+					defer tensor.SetBackend(prev)
 					r := frand.New(17)
 					x := tensor.Randn(r, 0.5, append([]int{16}, tc.shape...)...)
 					net := tc.builder()
@@ -323,10 +337,10 @@ func BenchmarkEval(b *testing.B) {
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						if mode == "fused" {
-							benchEvalSink = fz.Infer(x)
-						} else {
+						if arm.mode == "reference" {
 							benchEvalSink = net.Forward(x, false)
+						} else {
+							benchEvalSink = fz.Infer(x)
 						}
 					}
 				})
@@ -408,42 +422,50 @@ func BenchmarkServe(b *testing.B) {
 	for i := range inputs {
 		inputs[i] = tensor.Randn(r, 0.5, 1, 8, 8)
 	}
-	for _, maxBatch := range []int{1, 2, 4, 8, 16} {
-		b.Run(fmt.Sprintf("maxbatch=%d", maxBatch), func(b *testing.B) {
-			srv, err := serve.NewServer(build, weights, serve.Config{
-				MaxBatch:    maxBatch,
-				BatchBudget: 0.5,
-				Workers:     2,
-				IntraOp:     2,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			load := serve.LoadConfig{
-				Requests:    512,
-				Concurrency: 24,
-				Arrival:     serve.ClosedLoop{Think: 0.5, Seed: 11},
-				Service:     serve.AffineService{Base: 1, PerItem: 0.25},
-				Seed:        42,
-				Inputs:      inputs,
-			}
-			if _, err := srv.RunLoad(load); err != nil { // warm replicas + arenas
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			var last serve.Report
-			for i := 0; i < b.N; i++ {
-				rep, err := srv.RunLoad(load)
+	// The virtual-time metrics (vthroughput, vp99) are backend-invariant by
+	// the schedule contract; the wall-clock ns/op delta between the backend
+	// arms is the serving-path packed speedup.
+	for _, be := range []tensor.Backend{tensor.BackendSerial, tensor.BackendPacked} {
+		for _, maxBatch := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("backend=%s/maxbatch=%d", be, maxBatch), func(b *testing.B) {
+				prev := tensor.ActiveBackend()
+				tensor.SetBackend(be)
+				defer tensor.SetBackend(prev)
+				srv, err := serve.NewServer(build, weights, serve.Config{
+					MaxBatch:    maxBatch,
+					BatchBudget: 0.5,
+					Workers:     2,
+					IntraOp:     2,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
-				last = rep
-			}
-			b.ReportMetric(last.Throughput, "vthroughput")
-			b.ReportMetric(last.P99, "vp99")
-			b.ReportMetric(last.MeanBatch, "meanbatch")
-		})
+				load := serve.LoadConfig{
+					Requests:    512,
+					Concurrency: 24,
+					Arrival:     serve.ClosedLoop{Think: 0.5, Seed: 11},
+					Service:     serve.AffineService{Base: 1, PerItem: 0.25},
+					Seed:        42,
+					Inputs:      inputs,
+				}
+				if _, err := srv.RunLoad(load); err != nil { // warm replicas + arenas
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var last serve.Report
+				for i := 0; i < b.N; i++ {
+					rep, err := srv.RunLoad(load)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = rep
+				}
+				b.ReportMetric(last.Throughput, "vthroughput")
+				b.ReportMetric(last.P99, "vp99")
+				b.ReportMetric(last.MeanBatch, "meanbatch")
+			})
+		}
 	}
 }
 

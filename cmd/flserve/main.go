@@ -37,11 +37,12 @@ func main() {
 		publish     = flag.Int("publish-every", 0, "republish the model (same values, new version) every N batches, exercising version-cache churn (0 = off)")
 		bank        = flag.Int("inputs", 32, "distinct request payloads in the input bank")
 		seed        = flag.Uint64("seed", 42, "random seed")
+		backend     = flag.String("kernel-backend", tensor.ActiveBackend().String(), "matmul kernel backend for the frozen replicas: auto (packed when profitable), serial (bit-identical oracle kernels), packed (force the cache-blocked kernel); default honors HETEROSWITCH_KERNEL_BACKEND")
 	)
 	flag.Parse()
 
 	if err := run(*model, *classes, *side, *requests, *concurrency, *arrival,
-		*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *seed); err != nil {
+		*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *seed, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "flserve:", err)
 		os.Exit(1)
 	}
@@ -49,7 +50,12 @@ func main() {
 
 func run(model string, classes, side, requests, concurrency int, arrivalSpec string,
 	maxBatch int, budget float64, workers, intraop int, svcBase, svcItem float64,
-	publish, bank int, seed uint64) error {
+	publish, bank int, seed uint64, backend string) error {
+	kb, err := tensor.ParseBackend(backend)
+	if err != nil {
+		return err
+	}
+	tensor.SetBackend(kb)
 	builder, err := models.BuilderFor(models.Arch(model), seed, 3, classes)
 	if err != nil {
 		return err

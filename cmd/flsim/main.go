@@ -26,6 +26,7 @@ import (
 	"heteroswitch/internal/models"
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/simclock"
+	"heteroswitch/internal/tensor"
 )
 
 func strategyFor(name string, totalClients int) (fl.Strategy, error) {
@@ -65,6 +66,7 @@ func main() {
 		intraop  = flag.Int("intraop", 0, "total intra-op kernel parallelism budget, split across workers (0 = GOMAXPROCS, 1 = serial kernels; results are bit-identical at every setting)")
 		barrier  = flag.Bool("barrier", false, "force legacy barrier aggregation (materialize all K snapshots)")
 		fused    = flag.Bool("fused-eval", true, "evaluate through the frozen inference fast path (BN folded, activations fused); -fused-eval=false keeps the reference layer-by-layer eval forward")
+		backend  = flag.String("kernel-backend", tensor.ActiveBackend().String(), "matmul kernel backend for the frozen eval path: auto (packed when profitable), serial (bit-identical oracle kernels), packed (force the cache-blocked kernel); training always uses the oracle kernels; default honors HETEROSWITCH_KERNEL_BACKEND")
 		logEvery = flag.Int("log-every", 10, "print loss every N rounds")
 
 		async      = flag.Bool("async", false, "asynchronous staleness-aware aggregation on a deterministic virtual-time simulation (no round barrier)")
@@ -74,6 +76,11 @@ func main() {
 	)
 	flag.Parse()
 	nn.SetFusedEval(*fused)
+	kb, err := tensor.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
+	tensor.SetBackend(kb)
 
 	opts := experiments.DefaultOptions()
 	opts.Seed = *seed

@@ -212,6 +212,56 @@
 // nn.LossValue is the routing helper: LossValuer when available, otherwise
 // the LossInto/Eval fallbacks (BenchmarkEvalLoss A/Bs the two paths).
 //
+// # Kernel backends & numerics tiers
+//
+// The matmul layer under the frozen path is a two-backend dispatch
+// (internal/tensor/backend.go). Every tensor entry point belongs to exactly
+// one of two numerics tiers:
+//
+//   - ORACLE tier — the unfused entry points (tensor.MatMul, MatMulSlices,
+//     MatMulP, the transpose variants, and everything the training stack
+//     touches). These always run the original register-tiled serial/parallel
+//     kernels with their exact float-op order; they never dispatch. Every
+//     tol-0 contract in the repo — training bit-reproducibility across
+//     budgets and worker counts, async equivalence, gradient checks — rides
+//     on this tier and is untouched by backend selection.
+//   - TOLERANCE tier — the fused epilogue entry points the frozen path
+//     compiles to (MatMulSlicesPEp, MatMulIntoPEp, MatMulAccSlicesPEp).
+//     These dispatch on the active backend and promise ≤1e-5-per-unit
+//     closeness to the oracle result with identical argmax, the same
+//     contract the BN fold already imposes on frozen outputs.
+//
+// The packed backend is a cache-blocked GEBP kernel: it packs B once into
+// panel-major 4-wide column panels (zero-padded tail), k-blocks at 256 so
+// the panel stays cache-resident, and runs a 2×4 register microkernel with
+// the row epilogue applied per completed row chunk. Pack buffers and
+// dispatch state recycle through pools, preserving the frozen path's
+// 0 allocs/op steady state. Parallelism row-partitions the shared read-only
+// packed panel, so every output element is still computed wholly by one
+// goroutine — packed outputs are bit-identical across intra-op budgets and
+// across concurrent replicas, which keeps the serving determinism contract
+// (digests, histograms) intact per backend. Numerically, packed differs from
+// the oracle only by k-block summation order (k > 256) and ±0/NaN edge
+// cases; TestPackedMatchesOracle sweeps shapes × budgets against the 1e-5 +
+// argmax contract.
+//
+// Backend selection is process-wide: tensor.SetBackend /
+// tensor.ParseBackend, the HETEROSWITCH_KERNEL_BACKEND environment variable
+// (read at init), and the -kernel-backend flag on flsim, heterobench, and
+// flserve (experiments.Options.KernelBackend for library callers). The
+// default, BackendAuto, packs only when the shape profits (m ≥ 8 rows and
+// m·k·n ≥ 16384): packing costs O(k·n) writes, so tiny matmuls — the serve
+// smoke model's 4×9×64, say — stay on the oracle kernels, and forcing
+// -kernel-backend=packed on such shapes measurably loses to serial.
+// BackendSerial pins the oracle kernels everywhere and is bit-identical to
+// the pre-dispatch repo. The CI backend matrix runs the full suite under
+// both forced backends.
+//
+// The dispatch seam is deliberately the place a future int8 tier plugs in:
+// a quantized backend would pack B into int8 panels at Freeze time, run an
+// integer microkernel, and join the tolerance tier with its own (looser)
+// closeness contract — see the backend.go doc comment and ROADMAP.
+//
 // # Serving
 //
 // internal/serve stands a prediction front end on the frozen inference path;

@@ -52,6 +52,13 @@ type Options struct {
 	// Async selects asynchronous staleness-aware aggregation for the
 	// FL-driving harnesses.
 	Async AsyncOptions
+	// KernelBackend selects the matmul backend behind the frozen eval
+	// path's fused kernels (tensor.ParseBackend values: "auto" picks packed
+	// when profitable, "serial" forces the bit-identical oracle kernels,
+	// "packed" forces the cache-blocked kernel; "" inherits the process-wide
+	// selection). Training kernels never dispatch. Applied process-wide by
+	// Run.
+	KernelBackend string
 }
 
 // AsyncOptions configure the asynchronous aggregation path (fl.AsyncServer on

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"heteroswitch/internal/tensor"
 )
 
 // Runner executes one experiment and returns a printable result.
@@ -45,11 +47,21 @@ func Names() []string {
 	return out
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment, first applying the options' kernel
+// backend selection process-wide.
 func Run(name string, opts Options) (fmt.Stringer, error) {
 	r, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	// An empty KernelBackend inherits the process-wide selection (flag
+	// default or HETEROSWITCH_KERNEL_BACKEND) instead of resetting to auto.
+	if opts.KernelBackend != "" {
+		kb, err := tensor.ParseBackend(opts.KernelBackend)
+		if err != nil {
+			return nil, err
+		}
+		tensor.SetBackend(kb)
 	}
 	return r(opts)
 }

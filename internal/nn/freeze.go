@@ -238,10 +238,12 @@ func compileOps(flat []Layer) []frozenOp {
 		case *SEBlock:
 			ops = append(ops, newFrozenSE(l))
 		case *Residual:
-			ops = append(ops, &frozenResidual{
+			op := &frozenResidual{
 				body: compileLayerOps(l.Body),
 				proj: compileLayerOps(l.Proj),
-			})
+			}
+			op.foldProj()
+			ops = append(ops, op)
 		case *Parallel:
 			op := &frozenParallel{l: l}
 			for _, b := range l.Branches {

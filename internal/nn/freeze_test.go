@@ -98,6 +98,38 @@ func frozenFixtures() []frozenFixture {
 				nn.NewDense(r, 8, 5),
 			)
 		}},
+		{"residual-conv-proj-folded", 3, func(r *frand.RNG) *nn.Network {
+			// BN-free 1×1 projection: folds onto the skip path as a single
+			// accumulating affine at Freeze time.
+			body := nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
+				nn.NewReLU(),
+			)
+			proj := nn.NewNetwork(nn.NewConv2D(r, 3, 8, 1, 1, 0, 1))
+			return nn.NewNetwork(
+				nn.NewResidual(body, proj),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
+		{"residual-strided-proj", 3, func(r *frand.RNG) *nn.Network {
+			// Stride-2 1×1 projection: NOT foldable, keeps the materialized
+			// skip-path branch covered.
+			body := nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 3, 2, 1, 1),
+				nn.NewBatchNorm2D(8),
+			)
+			proj := nn.NewNetwork(
+				nn.NewConv2D(r, 3, 8, 1, 2, 0, 1),
+				nn.NewBatchNorm2D(8),
+			)
+			return nn.NewNetwork(
+				nn.NewResidual(body, proj),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense(r, 8, 5),
+			)
+		}},
 		{"seblock", 3, func(r *frand.RNG) *nn.Network {
 			return nn.NewNetwork(
 				nn.NewConv2D(r, 3, 8, 3, 1, 1, 1),
@@ -349,8 +381,14 @@ func TestEvalViewToggle(t *testing.T) {
 // exactly (the SqueezeNet-shaped contract). The net covers all three conv
 // kernels of the fast path — general im2col, the direct depthwise tap loop,
 // and the lowering-free pointwise matmul — which all promise the im2col
-// matmul's per-target accumulation order.
+// matmul's per-target accumulation order. Pinned to the serial kernel
+// backend: bit-identity to the reference forward is the ORACLE-tier
+// contract, and the packed backend only promises ≤1e-5 (see tensor's
+// backend docs).
 func TestFrozenPureFusionBitIdentical(t *testing.T) {
+	prev := tensor.ActiveBackend()
+	tensor.SetBackend(tensor.BackendSerial)
+	defer tensor.SetBackend(prev)
 	r := frand.New(31)
 	net := nn.NewNetwork(
 		nn.NewConv2D(r, 3, 8, 3, 2, 1, 1),

@@ -572,14 +572,52 @@ func (g *frozenGAP) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
 // Composites ------------------------------------------------------------------
 
 // frozenResidual runs both frozen branches and sums them, mirroring
-// Residual.Forward's copy+add order exactly.
+// Residual.Forward's copy+add order exactly — unless the projection folded
+// into a single affine (foldedProj non-nil), in which case the skip path
+// never materializes: the projection's W′x + b′ is accumulated directly
+// onto the body output by the accumulating fused matmul, one pass over y
+// instead of a projection tensor plus an elementwise sum.
 type frozenResidual struct {
 	body, proj []frozenOp
+
+	// foldedProj is proj's single op when the projection compiled down to
+	// one pointwise conv with everything folded in (1×1, stride 1, no pad,
+	// one group, BN absorbed by the conv fold, no activation) — exactly the
+	// ResNet/MobileNet downsample-projection shape. Folding reassociates
+	// the skip add ((y + W′x) + b′ versus y + (W′x + b′)), so it lives
+	// under the same ≤1e-5 tolerance contract as BN folding.
+	foldedProj *frozenConv
+
+	// per-Run state of the folded sample loop
+	xd, yd []float32
+	hw     int
+}
+
+// foldProj detects the foldable projection shape at compile time.
+func (r *frozenResidual) foldProj() {
+	// An empty body compiles runOps to the input itself; accumulating onto
+	// it would clobber x, so the fold requires a real body.
+	if len(r.body) == 0 || len(r.proj) != 1 {
+		return
+	}
+	fc, ok := r.proj[0].(*frozenConv)
+	if !ok || fc.act != epNone {
+		return
+	}
+	l := fc.l
+	if l.Groups != 1 || l.KH != 1 || l.KW != 1 || l.Stride != 1 || l.Pad != 0 {
+		return
+	}
+	r.foldedProj = fc
 }
 
 // infer implements frozenOp.
 func (r *frozenResidual) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
 	y := runOps(f, r.body, x)
+	if r.foldedProj != nil {
+		r.inferFolded(f, x, y)
+		return y
+	}
 	s := runOps(f, r.proj, x)
 	if !y.SameShape(s) {
 		panic(fmt.Sprintf("nn: frozen Residual shape mismatch %v vs %v", y.Shape(), s.Shape()))
@@ -590,6 +628,47 @@ func (r *frozenResidual) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
 		od[i] = yd[i] + sd[i]
 	}
 	return out
+}
+
+// inferFolded accumulates the folded projection onto the body output in
+// place: y_i += W′ @ x_i + b′ per sample, parallel over samples like
+// frozenConv (a single sample hands the whole budget to the row-parallel
+// matmul instead). Chunks own whole samples and the matmul is
+// budget-invariant, so results stay bit-identical at every budget.
+func (r *frozenResidual) inferFolded(f *Frozen, x, y *tensor.Tensor) {
+	l := r.foldedProj.l
+	if x.NDim() != 4 || x.Dim(1) != l.InC {
+		panic(fmt.Sprintf("nn: frozen Residual projection input %v, want [N %d H W]", x.Shape(), l.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	if y.NDim() != 4 || y.Dim(0) != n || y.Dim(1) != l.OutC || y.Dim(2) != h || y.Dim(3) != w {
+		panic(fmt.Sprintf("nn: frozen Residual shape mismatch %v vs projection [%d %d %d %d]",
+			y.Shape(), n, l.OutC, h, w))
+	}
+	r.xd, r.yd, r.hw = x.Data(), y.Data(), h*w
+	par := f.budget()
+	if n == 1 {
+		r.foldSample(0, par)
+	} else {
+		parallel.Run(par, n, parallel.GrainFor(l.OutC*l.InC*r.hw), r)
+	}
+	r.xd, r.yd = nil, nil
+}
+
+// foldSample accumulates one sample's projection.
+func (r *frozenResidual) foldSample(i, par int) {
+	fc := r.foldedProj
+	l := fc.l
+	xi := r.xd[i*l.InC*r.hw : (i+1)*l.InC*r.hw]
+	yi := r.yd[i*l.OutC*r.hw : (i+1)*l.OutC*r.hw]
+	tensor.MatMulAccSlicesPEp(par, yi, fc.wf, xi, l.OutC, l.InC, r.hw, &fc.eps[0])
+}
+
+// Run implements parallel.Runner over a sample range of the folded skip.
+func (r *frozenResidual) Run(_, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r.foldSample(i, 1)
+	}
 }
 
 // refold implements refolder, recursing into both branches.

@@ -87,11 +87,11 @@ type Report struct {
 	MeanBatch   float64
 	VirtualTime float64
 	// Throughput is Requests / VirtualTime (virtual requests per time unit).
-	Throughput   float64
-	MeanLatency  float64
+	Throughput    float64
+	MeanLatency   float64
 	P50, P95, P99 float64
-	OutputDigest uint64
-	Hist         Histogram
+	OutputDigest  uint64
+	Hist          Histogram
 }
 
 // quantiles fills the report's latency summary from the raw per-request

@@ -49,9 +49,9 @@ func (lc LoadConfig) withDefaults() LoadConfig {
 
 // Event kinds of the load simulation.
 const (
-	evArrival = iota // a request enters the micro-batcher
-	evDeadline       // a forming batch's latency budget expires
-	evDone           // a worker finishes a batch's virtual service time
+	evArrival  = iota // a request enters the micro-batcher
+	evDeadline        // a forming batch's latency budget expires
+	evDone            // a worker finishes a batch's virtual service time
 )
 
 // simEvent is one scheduled occurrence, keyed by its simclock event ID.

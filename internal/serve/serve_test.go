@@ -297,6 +297,82 @@ func TestPredictIntoConcurrent(t *testing.T) {
 	}
 }
 
+// The serving contract under the packed matmul backend: packed-forced runs
+// are bit-reproducible and intraop-invariant (packed kernels row-partition a
+// shared packed panel, so budgets never change output bits), the virtual-time
+// schedule is backend-invariant (service costs don't depend on output values),
+// and per-request predictions agree with the serial oracle backend on argmax
+// within the frozen path's tolerance tier.
+func TestLoadBackendContract(t *testing.T) {
+	forceBackend := func(b tensor.Backend) func() {
+		prev := tensor.ActiveBackend()
+		tensor.SetBackend(b)
+		return func() { tensor.SetBackend(prev) }
+	}
+
+	lc := LoadConfig{
+		Requests:    200,
+		Concurrency: 6,
+		Arrival:     ClosedLoop{Think: 0.2, Seed: 3},
+		Service:     AffineService{Base: 1, PerItem: 0.5},
+		Inputs:      testInputs(16),
+	}
+
+	restore := forceBackend(tensor.BackendSerial)
+	serial := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: 1}, lc)
+	restore()
+
+	restore = forceBackend(tensor.BackendPacked)
+	packed := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: 1}, lc)
+	again := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: 1}, lc)
+	requireSameReport(t, packed, again, "packed reruns")
+	for _, intraop := range []int{2, 4} {
+		got := mustLoad(t, Config{MaxBatch: 4, BatchBudget: 0.3, Workers: 2, IntraOp: intraop}, lc)
+		requireSameReport(t, packed, got, "packed intraop")
+	}
+	restore()
+
+	// The schedule (not the output bits) must be identical across backends.
+	if serial.VirtualTime != packed.VirtualTime || serial.Batches != packed.Batches ||
+		serial.Requests != packed.Requests || !serial.Hist.Equal(&packed.Hist) {
+		t.Fatalf("schedule depends on kernel backend: serial %+v vs packed %+v", serial, packed)
+	}
+
+	// Per-request outputs: packed sits in the tolerance tier — close to the
+	// serial oracle and identical on argmax for every bank input.
+	inputs := testInputs(16)
+	infer := func(b tensor.Backend, x *tensor.Tensor) []float32 {
+		restore := forceBackend(b)
+		defer restore()
+		rep := nn.NewReplica(testBuilder(), 1)
+		if err := rep.Ensure(0, testWeights(t)); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float32(nil), rep.Infer(tensor.FromSlice(x.Data(), 1, 1, 8, 8)).Data()...)
+	}
+	for i, x := range inputs {
+		so := infer(tensor.BackendSerial, x)
+		po := infer(tensor.BackendPacked, x)
+		argmax := func(v []float32) int {
+			best := 0
+			for j := range v {
+				if v[j] > v[best] {
+					best = j
+				}
+			}
+			return best
+		}
+		if argmax(so) != argmax(po) {
+			t.Fatalf("input %d: packed argmax %d != serial argmax %d (%v vs %v)", i, argmax(po), argmax(so), po, so)
+		}
+		for j := range so {
+			if d := so[j] - po[j]; d > 1e-5 || d < -1e-5 {
+				t.Fatalf("input %d output[%d]: packed %v vs serial %v exceeds tolerance", i, j, po[j], so[j])
+			}
+		}
+	}
+}
+
 // ParseArrival specs round-trip and bad specs fail loudly.
 func TestParseArrival(t *testing.T) {
 	m, err := ParseArrival("closed:0.5", 3)

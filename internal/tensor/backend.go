@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Kernel backends & numerics tiers --------------------------------------------
+//
+// The matmul entry points are split into two numerics tiers:
+//
+//   - The ORACLE tier: every kernel the training path uses (MatMul*,
+//     MatMulTransB*, MatMulTransAAcc*, and their *P row-parallel forms).
+//     These always run the serial/parallel register-tiled kernels with a
+//     strict per-target ascending-k accumulation order and are bit-exact
+//     at every intra-op budget. They never dispatch — the tol-0 training
+//     and aggregation reproducibility contracts stand on them.
+//
+//   - The TOLERANCE tier: the epilogue-fused entry points the frozen
+//     inference path compiles to (MatMulSlicesPEp, MatMulIntoPEp,
+//     MatMulAccSlicesPEp). These dispatch through the process-wide Backend
+//     below and may run the packed, cache-blocked GEBP kernel, whose
+//     k-blocking reassociates partial sums. nn.Freeze's contract (≤1e-5
+//     max-abs vs the reference forward, identical argmax) absorbs that;
+//     BackendSerial forces the oracle kernels and is bit-identical to the
+//     pre-dispatch behavior.
+//
+// A future int8-quantized tier slots into the same seam: a new Backend
+// value selected here, with per-op weight re-quantization hooked into
+// nn.Freeze's refold pass (the dispatch sees only shapes and the active
+// Backend, so a quantized kernel only needs its own packed-weight cache).
+
+// Backend selects the kernel implementation behind the tolerance-tier
+// (epilogue-fused) matmul entry points.
+type Backend uint8
+
+const (
+	// BackendAuto picks per call: the packed GEBP kernel when the matmul is
+	// large enough to amortize packing, the oracle kernels otherwise. The
+	// default.
+	BackendAuto Backend = iota
+	// BackendSerial forces the oracle kernels everywhere — bit-identical to
+	// the pre-backend behavior at every budget.
+	BackendSerial
+	// BackendPacked forces the packed kernel for every eligible shape
+	// (k ≥ 1); used by the CI backend matrix lane and A/B benchmarks.
+	BackendPacked
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendSerial:
+		return "serial"
+	case BackendPacked:
+		return "packed"
+	}
+	return fmt.Sprintf("Backend(%d)", uint8(b))
+}
+
+// ParseBackend maps the -kernel-backend flag values onto a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "serial":
+		return BackendSerial, nil
+	case "packed":
+		return BackendPacked, nil
+	}
+	return BackendAuto, fmt.Errorf("tensor: unknown kernel backend %q (want auto, serial, or packed)", s)
+}
+
+// activeBackend is the process-wide selection; the zero value is
+// BackendAuto. Reads sit on the matmul hot path, so it is a lock-free
+// atomic like the fused-eval toggle.
+var activeBackend atomic.Uint32
+
+// SetBackend selects the kernel backend for every subsequent
+// tolerance-tier matmul. Safe for concurrent use; typically set once at
+// startup from the -kernel-backend flag.
+func SetBackend(b Backend) { activeBackend.Store(uint32(b)) }
+
+// ActiveBackend returns the current process-wide backend selection.
+func ActiveBackend() Backend { return Backend(activeBackend.Load()) }
+
+// init honors the HETEROSWITCH_KERNEL_BACKEND environment variable so test
+// lanes (the CI backend matrix) can force a backend across whole packages
+// without threading flags through every harness.
+func init() {
+	if v := os.Getenv("HETEROSWITCH_KERNEL_BACKEND"); v != "" {
+		if b, err := ParseBackend(v); err == nil {
+			SetBackend(b)
+		}
+	}
+}
+
+// Auto-dispatch thresholds: packing B costs k·n writes against m·k·n
+// multiply-adds of compute, so the packed kernel needs enough rows to
+// amortize the pack (m ≥ packAutoMinRows ⇒ pack ≤ 1/packAutoMinRows of
+// compute) and enough total work for the panel loop's bookkeeping to
+// vanish. Below either bound the oracle kernels win and auto stays on
+// them.
+const (
+	packAutoMinRows = 8
+	packAutoMinWork = 1 << 14
+)
+
+// usePacked reports whether a tolerance-tier matmul of the given shape
+// dispatches to the packed kernel under the active backend. k == 0 always
+// stays on the oracle path (the packed driver's first k-block doubles as
+// the output initialization, so it needs at least one block).
+func usePacked(m, k, n int) bool {
+	if k <= 0 || m <= 0 || n <= 0 {
+		return false
+	}
+	switch ActiveBackend() {
+	case BackendPacked:
+		return true
+	case BackendSerial:
+		return false
+	default:
+		return m >= packAutoMinRows && m*k*n >= packAutoMinWork
+	}
+}

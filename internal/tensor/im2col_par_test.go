@@ -74,8 +74,11 @@ func TestCol2ImColsCoverage(t *testing.T) {
 
 // TestMatMulEpilogueBitIdentical: the fused epilogue runs row-locally inside
 // each chunk, so a fused kernel must equal the unfused kernel followed by
-// the same per-row pass, bit for bit, at every budget.
+// the same per-row pass, bit for bit, at every budget. Pinned to the serial
+// backend: this is the oracle fused path's contract; the packed backend's
+// tolerance contract is covered in packed_test.go.
 func TestMatMulEpilogueBitIdentical(t *testing.T) {
+	forceBackend(t, BackendSerial)
 	r := frand.New(79)
 	for _, sz := range parShapes {
 		a := Randn(r, 1, sz.m, sz.k)

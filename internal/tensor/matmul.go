@@ -339,7 +339,9 @@ func (t *mmTask) Run(_, lo, hi int) {
 	switch t.kind {
 	case mmAB:
 		o := t.out[lo*t.n : hi*t.n]
-		clear(o)
+		if !t.acc {
+			clear(o)
+		}
 		matmulAcc(o, t.a[lo*t.k:hi*t.k], t.b, hi-lo, t.k, t.n)
 	case mmTransB:
 		matMulTransB(t.out[lo*t.n:hi*t.n], t.a[lo*t.k:hi*t.k], t.b, hi-lo, t.k, t.n, t.acc)
@@ -449,9 +451,18 @@ func MatMulTransAAccSlicesP(par int, out, a, b []float32, k, m, n int) {
 // it. Bias adds and activations therefore cost one extra sweep over rows that
 // are still cache-resident, instead of whole separate layer passes over the
 // output tensor. A nil ep degrades to the plain kernel.
+//
+// These entry points — and only these — are the TOLERANCE tier: they
+// dispatch through the process-wide Backend (see backend.go) and may run
+// the packed GEBP kernel instead of the oracle kernels. Every unfused entry
+// point above stays on the oracle kernels unconditionally.
 
 // MatMulSlicesPEp is MatMulSlicesP with a fused row epilogue.
 func MatMulSlicesPEp(par int, out, a, b []float32, m, k, n int, ep RowEpilogue) {
+	if usePacked(m, k, n) {
+		matMulPackedEp(par, out, a, b, m, k, n, false, ep)
+		return
+	}
 	if par <= 1 {
 		MatMulSlices(out, a, b, m, k, n)
 		if ep != nil {
@@ -470,4 +481,23 @@ func MatMulIntoPEp(par int, out, a, b *Tensor, ep RowEpilogue) {
 		panic(fmt.Sprintf("tensor: MatMulIntoPEp out shape %v, want [%d %d]", out.shape, m, n))
 	}
 	MatMulSlicesPEp(par, out.data, a.data, b.data, m, k, n, ep)
+}
+
+// MatMulAccSlicesPEp is MatMulSlicesPEp without the initial clear:
+// out[m,n] += a[m,k] @ b[k,n], ep fused per completed row chunk. The frozen
+// Residual skip-path fold uses it to add the projected input onto the body
+// output in one pass.
+func MatMulAccSlicesPEp(par int, out, a, b []float32, m, k, n int, ep RowEpilogue) {
+	if usePacked(m, k, n) {
+		matMulPackedEp(par, out, a, b, m, k, n, true, ep)
+		return
+	}
+	if par <= 1 {
+		matmulAcc(out, a, b, m, k, n)
+		if ep != nil {
+			applyEpilogue(ep, out, n, 0, m)
+		}
+		return
+	}
+	runMMTask(par, m, mmTask{kind: mmAB, acc: true, out: out, a: a, b: b, k: k, n: n, ep: ep})
 }

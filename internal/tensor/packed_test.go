@@ -1,0 +1,286 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"heteroswitch/internal/frand"
+)
+
+// The packed backend's contract (backend.go): forced serial is bit-identical
+// to the oracle kernels, packed tracks them within 1e-5 with identical
+// per-row argmax, packed results are bit-identical across intra-op budgets,
+// and a warm packed dispatch — pack buffers included — allocates nothing.
+
+// forceBackend pins the process-wide backend for one test and restores the
+// previous selection afterwards.
+func forceBackend(t *testing.T, b Backend) {
+	t.Helper()
+	prev := ActiveBackend()
+	SetBackend(b)
+	t.Cleanup(func() { SetBackend(prev) })
+}
+
+// packedShapes stresses the microkernel tails (rows not multiples of 8 or 4,
+// columns not multiples of the panel width), the k-block boundary
+// (k > packKC), and shapes below the auto thresholds that only run packed
+// when forced.
+var packedShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{3, 5, 7},
+	{5, 9, 6},
+	{8, 64, 128},
+	{13, 17, 19},
+	{16, 768, 256}, // MLP-shaped, two k-block boundaries
+	{31, 64, 67},
+	{47, 300, 66}, // one k-block boundary, ragged everything
+	{48, 48, 256}, // ConvNet-shaped
+	{65, 33, 129},
+}
+
+var packedBudgets = []int{1, 2, 3, 4, 8}
+
+func rowArgmax(row []float32) int {
+	best := 0
+	for j, v := range row {
+		if v > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// runFusedEp computes out via MatMulSlicesPEp under a forced backend.
+func runFusedEp(b Backend, par int, out, a, bb []float32, m, k, n int, ep RowEpilogue) {
+	prev := ActiveBackend()
+	SetBackend(b)
+	defer SetBackend(prev)
+	MatMulSlicesPEp(par, out, a, bb, m, k, n, ep)
+}
+
+// fanInScaled builds a k×n "weight" operand with Kaiming-style 1/sqrt(k)
+// scaling, so matmul outputs are O(1) like real network activations and the
+// frozen path's absolute 1e-5 tolerance is the meaningful unit (raw
+// unit-variance B would grow sums to ~sqrt(k), below float32 ulp at 1e-5).
+func fanInScaled(r *frand.RNG, k, n int) *Tensor {
+	return Randn(r, 1/math.Sqrt(float64(k)), k, n)
+}
+
+// packedTolOK reports whether got is within the packed backend's tolerance
+// of want: 1e-5 absolute, scaled by |want| for the rare value outside the
+// unit range.
+func packedTolOK(got, want float32) bool {
+	w := math.Abs(float64(want))
+	if w < 1 {
+		w = 1
+	}
+	return math.Abs(float64(got)-float64(want)) <= 1e-5*w
+}
+
+// TestPackedMatchesOracle: forced packed vs forced serial on the fused entry
+// point, every shape × budget, ≤1e-5 (relative past unit magnitude) with
+// identical per-row argmax — the contract the frozen path holds, with and
+// without an epilogue.
+func TestPackedMatchesOracle(t *testing.T) {
+	r := frand.New(91)
+	for _, sz := range packedShapes {
+		a := Randn(r, 1, sz.m, sz.k)
+		b := fanInScaled(r, sz.k, sz.n)
+		bias := Randn(r, 1, sz.m)
+		for _, ep := range []RowEpilogue{nil, &testEpilogue{bias: bias.Data()}} {
+			want := make([]float32, sz.m*sz.n)
+			runFusedEp(BackendSerial, 1, want, a.Data(), b.Data(), sz.m, sz.k, sz.n, ep)
+			for _, par := range packedBudgets {
+				got := make([]float32, sz.m*sz.n)
+				runFusedEp(BackendPacked, par, got, a.Data(), b.Data(), sz.m, sz.k, sz.n, ep)
+				name := fmt.Sprintf("packed(%d) %dx%dx%d ep=%v", par, sz.m, sz.k, sz.n, ep != nil)
+				for i := range got {
+					if !packedTolOK(got[i], want[i]) {
+						t.Fatalf("%s: element %d packed %v vs serial %v exceeds 1e-5", name, i, got[i], want[i])
+					}
+				}
+				for i := 0; i < sz.m; i++ {
+					gr, wr := got[i*sz.n:(i+1)*sz.n], want[i*sz.n:(i+1)*sz.n]
+					if rowArgmax(gr) != rowArgmax(wr) {
+						t.Fatalf("%s: row %d argmax %d != %d", name, i, rowArgmax(gr), rowArgmax(wr))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedAccMatchesOracle covers the accumulating fused entry
+// (out += a @ b) both backends must agree on — the Residual skip-path fold
+// depends on it.
+func TestPackedAccMatchesOracle(t *testing.T) {
+	r := frand.New(92)
+	for _, sz := range packedShapes {
+		a := Randn(r, 1, sz.m, sz.k)
+		b := fanInScaled(r, sz.k, sz.n)
+		base := Randn(r, 1, sz.m, sz.n)
+		bias := Randn(r, 1, sz.m)
+		ep := &testEpilogue{bias: bias.Data()}
+		want := append([]float32(nil), base.Data()...)
+		prev := ActiveBackend()
+		SetBackend(BackendSerial)
+		MatMulAccSlicesPEp(1, want, a.Data(), b.Data(), sz.m, sz.k, sz.n, ep)
+		SetBackend(prev)
+		for _, par := range packedBudgets {
+			got := append([]float32(nil), base.Data()...)
+			SetBackend(BackendPacked)
+			MatMulAccSlicesPEp(par, got, a.Data(), b.Data(), sz.m, sz.k, sz.n, ep)
+			SetBackend(prev)
+			name := fmt.Sprintf("packedAcc(%d) %dx%dx%d", par, sz.m, sz.k, sz.n)
+			for i := range got {
+				if !packedTolOK(got[i], want[i]) {
+					t.Fatalf("%s: element %d packed %v vs serial %v exceeds 1e-5", name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSerialBackendBitIdentical: with backend=serial the fused entries are
+// bit-identical to the oracle kernels plus a separate epilogue pass — the
+// pre-dispatch behavior, tol 0.
+func TestSerialBackendBitIdentical(t *testing.T) {
+	forceBackend(t, BackendSerial)
+	r := frand.New(93)
+	for _, sz := range packedShapes {
+		a := Randn(r, 1, sz.m, sz.k)
+		b := Randn(r, 1, sz.k, sz.n)
+		bias := Randn(r, 1, sz.m)
+		ep := &testEpilogue{bias: bias.Data()}
+		want := make([]float32, sz.m*sz.n)
+		MatMulSlices(want, a.Data(), b.Data(), sz.m, sz.k, sz.n)
+		for i := 0; i < sz.m; i++ {
+			ep.Apply(want[i*sz.n:(i+1)*sz.n], i)
+		}
+		for _, par := range packedBudgets {
+			got := make([]float32, sz.m*sz.n)
+			MatMulSlicesPEp(par, got, a.Data(), b.Data(), sz.m, sz.k, sz.n, ep)
+			exactEqual(t, fmt.Sprintf("serial backend(%d) %dx%dx%d", par, sz.m, sz.k, sz.n), got, want)
+		}
+	}
+}
+
+// TestPackedBudgetsBitIdentical: the packed kernel row-partitions a shared
+// packed B and never splits one target's accumulation, so its results are
+// bit-identical across budgets — the invariant frozen-eval determinism
+// tests stand on.
+func TestPackedBudgetsBitIdentical(t *testing.T) {
+	forceBackend(t, BackendPacked)
+	r := frand.New(94)
+	for _, sz := range packedShapes {
+		a := Randn(r, 1, sz.m, sz.k)
+		b := Randn(r, 1, sz.k, sz.n)
+		want := make([]float32, sz.m*sz.n)
+		MatMulSlicesPEp(1, want, a.Data(), b.Data(), sz.m, sz.k, sz.n, nil)
+		for _, par := range packedBudgets[1:] {
+			got := make([]float32, sz.m*sz.n)
+			MatMulSlicesPEp(par, got, a.Data(), b.Data(), sz.m, sz.k, sz.n, nil)
+			exactEqual(t, fmt.Sprintf("packed budgets(%d) %dx%dx%d", par, sz.m, sz.k, sz.n), got, want)
+		}
+	}
+}
+
+// TestBackendParse pins the flag surface.
+func TestBackendParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+	}{{"", BackendAuto}, {"auto", BackendAuto}, {"serial", BackendSerial}, {"packed", BackendPacked}} {
+		got, err := ParseBackend(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Fatalf("Backend %v String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseBackend("simd"); err == nil {
+		t.Fatal("ParseBackend(simd) did not error")
+	}
+}
+
+// TestAutoDispatch pins the auto heuristic's edges: tiny matmuls stay on the
+// oracle kernels, frozen-eval-shaped ones go packed, and k == 0 never
+// dispatches (the packed driver needs one k-block to initialize the output).
+func TestAutoDispatch(t *testing.T) {
+	forceBackend(t, BackendAuto)
+	for _, tc := range []struct {
+		m, k, n int
+		want    bool
+	}{
+		{1, 768, 256, false},                     // single serving row: pack cost unamortized
+		{packAutoMinRows - 1, 1024, 1024, false}, // below the row floor
+		{16, 768, 256, true},                     // MLP eval batch
+		{48, 48, 256, true},                      // ConvNet eval matmul
+		{8, 8, 8, false},                         // below the work floor
+		{16, 0, 256, false},                      // k == 0 must stay oracle
+	} {
+		if got := usePacked(tc.m, tc.k, tc.n); got != tc.want {
+			t.Fatalf("usePacked(%d,%d,%d) = %v, want %v", tc.m, tc.k, tc.n, got, tc.want)
+		}
+	}
+	SetBackend(BackendPacked)
+	if usePacked(16, 0, 256) {
+		t.Fatal("usePacked with k=0 must be false even when packed is forced")
+	}
+	SetBackend(BackendSerial)
+	if usePacked(1024, 1024, 1024) {
+		t.Fatal("usePacked must be false when serial is forced")
+	}
+}
+
+// TestPackedZeroAllocSteadyState: a warm packed dispatch recycles its pack
+// buffer and task through pools — 0 allocs/op, serial and parallel.
+func TestPackedZeroAllocSteadyState(t *testing.T) {
+	forceBackend(t, BackendPacked)
+	r := frand.New(95)
+	a := Randn(r, 1, 48, 48)
+	b := Randn(r, 1, 48, 256)
+	bias := Randn(r, 1, 48)
+	ep := &testEpilogue{bias: bias.Data()}
+	out := make([]float32, 48*256)
+	for _, par := range []int{1, 4} {
+		MatMulSlicesPEp(par, out, a.Data(), b.Data(), 48, 48, 256, ep) // warm pools
+		allocs := testing.AllocsPerRun(20, func() {
+			MatMulSlicesPEp(par, out, a.Data(), b.Data(), 48, 48, 256, ep)
+		})
+		if allocs != 0 {
+			t.Fatalf("packed dispatch par=%d steady state allocates %.1f/op, want 0", par, allocs)
+		}
+	}
+}
+
+// BenchmarkMatMulPacked A/Bs the packed kernel against the oracle on the
+// frozen path's real shapes (ConvNet pointwise/im2col matmuls, the MLP
+// dense) and on square cache-pressure shapes.
+func BenchmarkMatMulPacked(b *testing.B) {
+	r := frand.New(96)
+	for _, sz := range []struct{ m, k, n int }{
+		{16, 768, 256}, // MLP dense eval batch
+		{48, 48, 256},  // ConvNet expand pointwise
+		{64, 64, 64},
+		{128, 128, 128},
+		{256, 256, 256},
+	} {
+		a := Randn(r, 1, sz.m, sz.k)
+		bb := Randn(r, 1, sz.k, sz.n)
+		out := make([]float32, sz.m*sz.n)
+		for _, be := range []Backend{BackendSerial, BackendPacked} {
+			b.Run(fmt.Sprintf("%dx%dx%d/backend=%s", sz.m, sz.k, sz.n, be), func(b *testing.B) {
+				prev := ActiveBackend()
+				SetBackend(be)
+				defer SetBackend(prev)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					MatMulSlicesPEp(1, out, a.Data(), bb.Data(), sz.m, sz.k, sz.n, nil)
+				}
+			})
+		}
+	}
+}
