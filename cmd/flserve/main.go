@@ -36,13 +36,14 @@ func main() {
 		svcItem     = flag.Float64("service-per-item", 0.25, "virtual per-request service cost")
 		publish     = flag.Int("publish-every", 0, "republish the model (same values, new version) every N batches, exercising version-cache churn (0 = off)")
 		bank        = flag.Int("inputs", 32, "distinct request payloads in the input bank")
+		admission   = flag.String("admission", "", "overload admission policy DEPTH,DEADLINE: shed arrivals beyond DEPTH pending requests and queued requests older than DEADLINE at service start (either 0 disables that mechanism; empty or 'off' = no admission control)")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		backend     = flag.String("kernel-backend", tensor.ActiveBackend().String(), "matmul kernel backend for the frozen replicas: auto (packed when profitable), serial (bit-identical oracle kernels), packed (force the cache-blocked kernel); default honors HETEROSWITCH_KERNEL_BACKEND")
 	)
 	flag.Parse()
 
 	if err := run(*model, *classes, *side, *requests, *concurrency, *arrival,
-		*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *seed, *backend); err != nil {
+		*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *admission, *seed, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "flserve:", err)
 		os.Exit(1)
 	}
@@ -50,8 +51,12 @@ func main() {
 
 func run(model string, classes, side, requests, concurrency int, arrivalSpec string,
 	maxBatch int, budget float64, workers, intraop int, svcBase, svcItem float64,
-	publish, bank int, seed uint64, backend string) error {
+	publish, bank int, admissionSpec string, seed uint64, backend string) error {
 	kb, err := tensor.ParseBackend(backend)
+	if err != nil {
+		return err
+	}
+	admission, err := serve.ParseAdmission(admissionSpec)
 	if err != nil {
 		return err
 	}
@@ -72,6 +77,7 @@ func run(model string, classes, side, requests, concurrency int, arrivalSpec str
 		BatchBudget: budget,
 		Workers:     workers,
 		IntraOp:     intraop,
+		Admission:   admission,
 	})
 	if err != nil {
 		return err
@@ -84,8 +90,8 @@ func run(model string, classes, side, requests, concurrency int, arrivalSpec str
 	}
 
 	fmt.Printf("flserve model=%s classes=%d input=3x%dx%d\n", model, classes, side, side)
-	fmt.Printf("config max_batch=%d batch_budget=%g workers=%d intraop=%d arrival=%s service=affine(%g,%g) publish_every=%d seed=%d\n",
-		maxBatch, budget, workers, intraop, arrivalSpec, svcBase, svcItem, publish, seed)
+	fmt.Printf("config max_batch=%d batch_budget=%g workers=%d intraop=%d arrival=%s service=affine(%g,%g) publish_every=%d admission=%d,%g seed=%d\n",
+		maxBatch, budget, workers, intraop, arrivalSpec, svcBase, svcItem, publish, admission.Depth, admission.Deadline, seed)
 
 	report, err := srv.RunLoad(serve.LoadConfig{
 		Requests:     requests,

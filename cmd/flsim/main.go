@@ -16,11 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"heteroswitch/internal/core"
 	"heteroswitch/internal/dataset"
 	"heteroswitch/internal/experiments"
+	"heteroswitch/internal/faults"
 	"heteroswitch/internal/fl"
 	"heteroswitch/internal/metrics"
 	"heteroswitch/internal/models"
@@ -73,6 +75,13 @@ func main() {
 		alpha      = flag.Float64("staleness-alpha", 0.5, "polynomial staleness discount 1/(1+s)^alpha for async folds (0 = no discount)")
 		latency    = flag.String("latency-model", "straggler:0.5,2,0.15,8", "virtual client latency: zero, const:D, uniform:LO,HI, straggler:LO,HI,P,FACTOR")
 		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of K (1 = no overlap, so no staleness)")
+
+		faultSpec     = flag.String("faults", "", "seeded fault injection: crash:P, flaky:P,R, corrupt:P,MODE, churn:PERIOD,ON, combined with '+' (empty = fault-free; crash/flaky/churn need -async, crash/flaky also -fault-timeout)")
+		maxNorm       = flag.Float64("max-delta-norm", 0, "update validation gate: reject client deltas with non-finite values or L2 norm above this (0 = gate off, unless -faults is set, then +Inf = non-finite check only)")
+		faultTimeout  = flag.Float64("fault-timeout", 0, "async per-job virtual timeout before deterministic reissue (0 = no timeouts, the pre-fault behavior)")
+		faultBackoff  = flag.Float64("fault-backoff", 0, "base virtual reissue backoff, doubled each attempt (needs -fault-timeout)")
+		faultAttempts = flag.Int("fault-attempts", 0, "max dispatch attempts per job before its client counts failed (0 = 3 when timeouts are on)")
+		maxStale      = flag.Int("max-staleness", 0, "drop async results staler than this many aggregation windows instead of folding them (0 = fold everything)")
 	)
 	flag.Parse()
 	nn.SetFusedEval(*fused)
@@ -110,6 +119,15 @@ func main() {
 		IntraOp:          *intraop,
 		DisableStreaming: *barrier,
 	}
+	fm, err := faults.ParseSpec(*faultSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Faults = fm
+	cfg.MaxDeltaNorm = *maxNorm
+	if fm != nil && cfg.MaxDeltaNorm == 0 {
+		cfg.MaxDeltaNorm = math.Inf(1)
+	}
 	counts := experiments.MarketShareCounts(dd, *clients)
 	pop, err := fl.BuildPopulation(dd.Train, counts, *seed)
 	if err != nil {
@@ -125,22 +143,38 @@ func main() {
 			fatal(err)
 		}
 		srv, err := fl.NewAsyncServer(cfg, builder, nn.SoftmaxCrossEntropy{}, strat, pop, fl.AsyncConfig{
-			Staleness:   fl.PolynomialStaleness{Alpha: *alpha},
-			Latency:     lat,
-			Concurrency: *asyncDepth * cfg.ClientsPerRound,
-			Buffer:      cfg.ClientsPerRound,
+			Staleness:    fl.PolynomialStaleness{Alpha: *alpha},
+			Latency:      lat,
+			Concurrency:  *asyncDepth * cfg.ClientsPerRound,
+			Buffer:       cfg.ClientsPerRound,
+			Timeout:      *faultTimeout,
+			RetryBackoff: *faultBackoff,
+			MaxAttempts:  *faultAttempts,
+			MaxStaleness: *maxStale,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("running %s / %s ASYNC: N=%d K=%d depth=%d alpha=%g latency=%s T=%d lr=%g\n",
-			strat.Name(), *model, len(pop), cfg.ClientsPerRound, *asyncDepth, *alpha, *latency, *rounds, *lr)
+		fmt.Printf("running %s / %s ASYNC: N=%d K=%d depth=%d alpha=%g latency=%s T=%d lr=%g faults=%s\n",
+			strat.Name(), *model, len(pop), cfg.ClientsPerRound, *asyncDepth, *alpha, *latency, *rounds, *lr, cfg.Faults.String())
+		var reissues, failed, rejected, staleDropped, deferred int
+		var wasted int64
 		srv.Run(func(s fl.AsyncRoundStats) {
+			reissues += s.Reissues
+			failed += s.Failed
+			rejected += len(s.Rejected)
+			staleDropped += s.StaleDropped
+			deferred += s.Deferred
+			wasted += s.BytesWasted
 			if (*logEvery > 0 && (s.Round+1)%*logEvery == 0) || s.Round == *rounds-1 {
 				fmt.Printf("round %4d  train-loss %.4f  init-loss %.4f  vtime %8.1f  staleness %.2f (max %d)  discount %.3f\n",
 					s.Round+1, s.MeanLoss, s.MeanInit, s.VirtualTime, s.MeanStaleness, s.MaxStaleness, s.MeanDiscount)
 			}
 		})
+		if cfg.Faults.Enabled() || *faultTimeout > 0 || *maxStale > 0 || cfg.MaxDeltaNorm > 0 {
+			fmt.Printf("chaos: reissues=%d failed=%d rejected=%d stale-dropped=%d deferred=%d bytes-wasted=%d\n",
+				reissues, failed, rejected, staleDropped, deferred, wasted)
+		}
 		net = srv.GlobalNet()
 	} else {
 		srv, err := fl.NewServer(cfg, builder, nn.SoftmaxCrossEntropy{}, strat, pop)
@@ -149,11 +183,18 @@ func main() {
 		}
 		fmt.Printf("running %s / %s: N=%d K=%d B=%d E=%d T=%d lr=%g\n",
 			strat.Name(), *model, len(pop), cfg.ClientsPerRound, *batch, *epochs, *rounds, *lr)
+		var rejected int
+		var wasted int64
 		srv.Run(func(s fl.RoundStats) {
+			rejected += len(s.Rejected)
+			wasted += s.BytesWasted
 			if (*logEvery > 0 && (s.Round+1)%*logEvery == 0) || s.Round == *rounds-1 {
 				fmt.Printf("round %4d  train-loss %.4f  init-loss %.4f\n", s.Round+1, s.MeanLoss, s.MeanInit)
 			}
 		})
+		if cfg.Faults.Enabled() || cfg.MaxDeltaNorm > 0 {
+			fmt.Printf("chaos: rejected=%d bytes-wasted=%d\n", rejected, wasted)
+		}
 		net = srv.GlobalNet()
 	}
 	acc := experiments.PerDeviceAccuracies(net, dd, 16)

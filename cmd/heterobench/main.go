@@ -43,6 +43,13 @@ func main() {
 		alpha      = flag.Float64("staleness-alpha", 0.5, "polynomial staleness discount 1/(1+s)^alpha for async folds (0 = no discount); also parameterizes async-sweep")
 		latency    = flag.String("latency-model", "", "virtual client latency for -async runs: zero, const:D, uniform:LO,HI, straggler:LO,HI,P,FACTOR (default zero; async-sweep overrides with its arms)")
 		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of each harness's K")
+
+		faultSpec     = flag.String("faults", "", "seeded fault injection for the FL harnesses: crash:P, flaky:P,R, corrupt:P,MODE, churn:PERIOD,ON, combined with '+' (empty = fault-free; crash/flaky/churn need -async, crash/flaky also -fault-timeout)")
+		maxNorm       = flag.Float64("max-delta-norm", 0, "update validation gate: reject client deltas with non-finite values or L2 norm above this (0 = gate off, unless -faults is set, then +Inf = non-finite check only)")
+		faultTimeout  = flag.Float64("fault-timeout", 0, "async per-job virtual timeout before deterministic reissue (0 = no timeouts)")
+		faultBackoff  = flag.Float64("fault-backoff", 0, "base virtual reissue backoff, doubled each attempt (needs -fault-timeout)")
+		faultAttempts = flag.Int("fault-attempts", 0, "max dispatch attempts per job before its client counts failed (0 = 3 when timeouts are on)")
+		maxStale      = flag.Int("max-staleness", 0, "drop async results staler than this many aggregation windows instead of folding them (0 = fold everything)")
 	)
 	flag.Parse()
 	nn.SetFusedEval(*fused)
@@ -72,7 +79,13 @@ func main() {
 		StalenessAlpha: *alpha,
 		LatencyModel:   *latency,
 		Depth:          *asyncDepth,
+		Timeout:        *faultTimeout,
+		RetryBackoff:   *faultBackoff,
+		MaxAttempts:    *faultAttempts,
+		MaxStaleness:   *maxStale,
 	}
+	opts.Faults = *faultSpec
+	opts.MaxDeltaNorm = *maxNorm
 
 	names := []string{*exp}
 	if *exp == "all" {

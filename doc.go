@@ -302,6 +302,54 @@
 // bit-identical to a serial reference regardless of interleaving with
 // Publish.
 //
+// # Fault injection & robustness
+//
+// internal/faults provides seeded, composable client fault models, and the
+// training/serving engines are hardened against exactly those faults. A
+// faults.Model is parsed from a CLI spec (faults.ParseSpec, mirroring
+// simclock.ParseModel): "crash:P" (a drawn job never completes), "flaky:P,R"
+// (completes after R timeouts), "corrupt:P,MODE" (the returned delta is
+// poisoned — nan, inf, blowup, or mix), and "churn:PERIOD,ON" (per-client
+// on/off duty cycles in virtual time), combined with "+". Every draw is a
+// pure hash of (seed, client, job), never an RNG stream, so fault fates
+// replay identically run-to-run and are independent of scheduling.
+//
+// Hardened consumers:
+//
+//   - fl.AsyncServer arms a virtual-time timeout per dispatched job
+//     (AsyncConfig.Timeout); an expired job is reissued against the CURRENT
+//     global with exponential backoff (RetryBackoff doubled per attempt) up
+//     to MaxAttempts, after which the client counts failed and its window
+//     slot is refilled. Churned-off clients have their dispatch deferred to
+//     the next on-window. AsyncConfig.MaxStaleness drops results staler
+//     than the bound instead of folding them. AsyncRoundStats accounts for
+//     all of it: Reissues, Failed, Deferred, StaleDropped, Rejected,
+//     BytesWasted.
+//   - Both engines gate every update before it reaches the global
+//     accumulator: fl.Config.MaxDeltaNorm rejects deltas containing NaN/Inf
+//     or with float64 L2 norm beyond the bound (+Inf = non-finite check
+//     only; 0 = gate off). The gate tests prove a corrupted client's
+//     update never perturbs the global weights — bit-identical (tol 0) to a
+//     run where that client contributes nothing — on both engines.
+//   - internal/serve gains admission control (Config.Admission,
+//     serve.ParseAdmission "DEPTH,DEADLINE"): arrivals beyond Depth pending
+//     requests are shed immediately, and queued requests whose wait exceeds
+//     Deadline are shed at service start, so closed-loop overload degrades
+//     to deterministic rejections with a bounded p99 instead of unbounded
+//     virtual queueing. Report gains Served/ShedQueue/ShedDeadline/
+//     Reissues/MaxQueue, folded into the output digest when admission is
+//     enabled.
+//
+// The load-bearing contract, asserted by the fault tests and the CI chaos
+// smoke (seeded crash+flaky+corrupt+churn runs diffed byte-for-byte): with
+// no faults configured every output is bit-identical to the pre-fault
+// engines, and WITH faults configured a run is still a pure function of
+// (config, seed) — chaos is deterministic. Flags: flsim/heterobench
+// -faults, -max-delta-norm, -fault-timeout, -fault-backoff,
+// -fault-attempts, -max-staleness; flserve -admission
+// (experiments.Options.Faults/MaxDeltaNorm and AsyncOptions for library
+// callers).
+//
 // The root package exists to carry the repository-level benchmarks in
 // bench_test.go, one per table and figure of the paper's evaluation, plus
 // the aggregation-pipeline benchmarks.

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 
 	"heteroswitch/internal/dataset"
 	"heteroswitch/internal/device"
+	"heteroswitch/internal/faults"
 	"heteroswitch/internal/fl"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/metrics"
@@ -59,6 +61,16 @@ type Options struct {
 	// selection). Training kernels never dispatch. Applied process-wide by
 	// Run.
 	KernelBackend string
+	// Faults is a faults.ParseSpec chaos spec ("crash:P", "flaky:P,R",
+	// "corrupt:P,MODE", "churn:PERIOD,ON", "+"-combined) injected into every
+	// FL harness; "" or "none" runs fault-free. Crash/flaky/churn models need
+	// the async engine (Options.Async plus a timeout for crash/flaky).
+	Faults string
+	// MaxDeltaNorm is the update-validation gate (fl.Config.MaxDeltaNorm):
+	// client deltas with non-finite values or L2 norm beyond it are rejected
+	// before aggregation. 0 keeps the gate off unless Faults is set, in
+	// which case it defaults to +Inf (reject non-finite only).
+	MaxDeltaNorm float64
 }
 
 // AsyncOptions configure the asynchronous aggregation path (fl.AsyncServer on
@@ -80,6 +92,15 @@ type AsyncOptions struct {
 	// K: aggregation windows fold K results while Depth×K jobs stay in
 	// flight. 0 or 1 means no window overlap — and therefore no staleness.
 	Depth int
+	// Timeout, RetryBackoff and MaxAttempts configure per-job virtual-time
+	// timeouts with deterministic reissue (fl.AsyncConfig fields of the same
+	// names); Timeout 0 disables timeouts, the pre-fault behavior.
+	Timeout      float64
+	RetryBackoff float64
+	MaxAttempts  int
+	// MaxStaleness drops results staler than this many windows instead of
+	// folding them (fl.AsyncConfig.MaxStaleness). 0 folds everything.
+	MaxStaleness int
 }
 
 // Config resolves the options into an fl.AsyncConfig for a harness whose
@@ -91,11 +112,32 @@ func (a AsyncOptions) Config(k int, seed uint64) (fl.AsyncConfig, error) {
 	}
 	depth := max(a.Depth, 1)
 	return fl.AsyncConfig{
-		Staleness:   fl.PolynomialStaleness{Alpha: a.StalenessAlpha},
-		Latency:     lat,
-		Concurrency: depth * k,
-		Buffer:      k,
+		Staleness:    fl.PolynomialStaleness{Alpha: a.StalenessAlpha},
+		Latency:      lat,
+		Concurrency:  depth * k,
+		Buffer:       k,
+		Timeout:      a.Timeout,
+		RetryBackoff: a.RetryBackoff,
+		MaxAttempts:  a.MaxAttempts,
+		MaxStaleness: a.MaxStaleness,
 	}, nil
+}
+
+// applyRobustness resolves the fault-injection and validation-gate options
+// into cfg. A configured fault model defaults the gate to +Inf (reject
+// non-finite updates) so injected corruption can never silently poison the
+// global model; an explicit MaxDeltaNorm always wins.
+func (o Options) applyRobustness(cfg *fl.Config) error {
+	m, err := faults.ParseSpec(o.Faults, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = m
+	cfg.MaxDeltaNorm = o.MaxDeltaNorm
+	if m != nil && cfg.MaxDeltaNorm == 0 {
+		cfg.MaxDeltaNorm = math.Inf(1)
+	}
+	return nil
 }
 
 // DefaultOptions returns the standard configuration (Scale 1).
@@ -286,6 +328,9 @@ func RunFLWithLoss(opts Options, strategy fl.Strategy, perDevice map[int]*datase
 	}
 	if cfg.ClientsPerRound > len(clients) {
 		cfg.ClientsPerRound = len(clients)
+	}
+	if err := opts.applyRobustness(&cfg); err != nil {
+		return nil, err
 	}
 	if _, streams := strategy.(fl.StreamingAggregator); opts.Async.Enabled && streams {
 		async, err := opts.Async.Config(cfg.ClientsPerRound, cfg.Seed)

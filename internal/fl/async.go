@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"heteroswitch/internal/faults"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/simclock"
@@ -74,6 +75,28 @@ type AsyncConfig struct {
 	// Buffer is the number of completed results folded per aggregation
 	// (FedBuff's K). 0 means cfg.ClientsPerRound.
 	Buffer int
+	// Timeout arms per-job virtual-time reissue: an attempt that has not
+	// completed Timeout units after its dispatch instant is abandoned and
+	// the job redispatched (against the then-current global) after
+	// RetryBackoff. 0 disables timeouts — the pre-timeout behavior, where
+	// every dispatch eventually completes — and is rejected when
+	// Config.Faults can crash jobs.
+	Timeout float64
+	// RetryBackoff is the virtual-time delay before a timed-out job's
+	// reissue, doubling with each further attempt (exponential backoff).
+	// 0 reissues at the timeout instant.
+	RetryBackoff float64
+	// MaxAttempts caps dispatch attempts per job: when the last allowed
+	// attempt times out the client is counted failed for the window
+	// (AsyncRoundStats.Failed) and a replacement admitted. 0 means 3
+	// whenever Timeout > 0.
+	MaxAttempts int
+	// MaxStaleness, when > 0, is the drop rule: a completion whose
+	// staleness exceeds it is discarded before training — it consumes its
+	// fold slot like a zero-discount skip, its upload bytes are wasted
+	// (AsyncRoundStats.BytesWasted), and no replacement draw happens, so
+	// the sampling stream stays pinned to the no-drop server's.
+	MaxStaleness int
 }
 
 // withDefaults resolves zero fields against the base config.
@@ -90,6 +113,9 @@ func (a AsyncConfig) withDefaults(cfg Config) AsyncConfig {
 	if a.Concurrency == 0 {
 		a.Concurrency = a.Buffer
 	}
+	if a.Timeout > 0 && a.MaxAttempts == 0 {
+		a.MaxAttempts = 3
+	}
 	return a
 }
 
@@ -100,6 +126,13 @@ func (a AsyncConfig) validate() error {
 	}
 	if a.Buffer > a.Concurrency {
 		return fmt.Errorf("fl: async buffer %d exceeds concurrency %d (a window could never fill)", a.Buffer, a.Concurrency)
+	}
+	if a.Timeout < 0 || a.RetryBackoff < 0 || a.MaxAttempts < 0 || a.MaxStaleness < 0 {
+		return fmt.Errorf("fl: negative async timeout/backoff/attempts/staleness: %g/%g/%d/%d",
+			a.Timeout, a.RetryBackoff, a.MaxAttempts, a.MaxStaleness)
+	}
+	if a.Timeout <= 0 && (a.MaxAttempts > 0 || a.RetryBackoff > 0) {
+		return fmt.Errorf("fl: async attempt cap/backoff configured without a timeout")
 	}
 	return nil
 }
@@ -128,13 +161,38 @@ type AsyncRoundStats struct {
 	// weight 0 is a no-op, so the result could never matter). Skipped clients
 	// still appear in Sampled and in the byte accounting.
 	Skipped int
+	// StaleDropped counts completions discarded by the AsyncConfig.
+	// MaxStaleness drop rule: like Skipped they consume a fold slot without
+	// training, but their upload bytes additionally count as BytesWasted.
+	StaleDropped int
+	// Reissues counts timed-out attempts that were redispatched (with
+	// exponential backoff) this window.
+	Reissues int
+	// Failed counts jobs abandoned after MaxAttempts timed-out attempts;
+	// each failed client never uploads and a replacement job is admitted.
+	Failed int
+	// Deferred counts dispatches delayed by availability churn to the
+	// client's next duty window.
+	Deferred int
 }
 
-// asyncJob is one dispatched unit of client work: who trains, and against
-// which global version.
+// asyncJob is one dispatched unit of client work: who trains, against which
+// global version, on which attempt. key is the job's first dispatch sequence
+// number — the stable identity under which the fault model draws the job's
+// fate, so retries of the same job replay the same draw.
 type asyncJob struct {
 	client  *Client
 	version int
+	attempt int // 1-based dispatch attempt
+	key     int
+}
+
+// asyncEvent is the single pending clock event of one in-flight job: its
+// completion, or — when the current attempt is fated to fail or its latency
+// overruns the timeout — its reissue deadline.
+type asyncEvent struct {
+	job     asyncJob
+	timeout bool
 }
 
 // AsyncServer drives staleness-aware asynchronous federated training on a
@@ -184,10 +242,11 @@ type AsyncServer struct {
 	// avoids re-slicing the backing array away.
 	queue []*Client
 	qhead int
-	// jobs maps dispatch sequence number → in-flight job; seq is the
-	// monotonic dispatch counter (also the completion tie-break).
-	jobs map[int]asyncJob
-	seq  int
+	// events maps dispatch sequence number → the pending event of an
+	// in-flight job (exactly one per job); seq is the monotonic dispatch
+	// counter (also the clock tie-break).
+	events map[int]asyncEvent
+	seq    int
 	// window counts completed aggregation windows (== RoundStats.Round).
 	window  int
 	dropped []int
@@ -213,6 +272,9 @@ func NewAsyncServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy
 	if err := async.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Faults.NeedsTimeout() && async.Timeout <= 0 {
+		return nil, fmt.Errorf("fl: fault model %q can lose dispatched jobs; AsyncConfig.Timeout must be > 0", cfg.Faults)
+	}
 	sa, ok := strategy.(StreamingAggregator)
 	if !ok {
 		return nil, fmt.Errorf("fl: strategy %s cannot aggregate asynchronously (no streaming fold)", strategy.Name())
@@ -234,11 +296,11 @@ func NewAsyncServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy
 		builder:  builder,
 		// The same sampling stream as the synchronous server: with zero
 		// latency and no discount the two draw identical client sequences.
-		rng:  frand.New(cfg.Seed ^ 0x5ca1ab1e),
-		net:  net,
-		sa:   sa,
-		acc:  acc,
-		jobs: make(map[int]asyncJob),
+		rng:    frand.New(cfg.Seed ^ 0x5ca1ab1e),
+		net:    net,
+		sa:     sa,
+		acc:    acc,
+		events: make(map[int]asyncEvent),
 	}, nil
 }
 
@@ -275,15 +337,43 @@ func (s *AsyncServer) nextClient(st *AsyncRoundStats, wb int64) *Client {
 // time, broadcasting the current global version to each new job.
 func (s *AsyncServer) admit(st *AsyncRoundStats) {
 	wb := weightBytes(s.Global)
-	for len(s.jobs) < s.Async.Concurrency {
+	for len(s.events) < s.Async.Concurrency {
 		c := s.nextClient(st, wb)
-		id := s.seq
-		s.seq++
-		s.jobs[id] = asyncJob{client: c, version: s.Version}
+		job := asyncJob{client: c, version: s.Version, attempt: 1, key: s.seq}
 		s.store.Retain(s.Version, s.Global)
-		s.clock.Schedule(s.clock.Now()+s.Async.Latency.Sample(c.ID, id), id)
-		st.BytesDown += wb
+		s.dispatch(job, 0, st, wb)
 	}
+}
+
+// dispatch broadcasts one attempt of a job, delay virtual-time units from
+// now (0 at admission; the exponential backoff on reissue), and schedules
+// the attempt's single pending event. Churn defers the dispatch instant to
+// the client's next duty window. The attempt's latency is drawn exactly as
+// the fault-free server draws it — one Sample per dispatch sequence number —
+// and the attempt fails when the fault model says so (crash or a transient
+// attempt still in its failing prefix) or, with a timeout armed, when the
+// drawn latency overruns it; a failing attempt schedules only its reissue
+// deadline, a succeeding one only its completion. With no faults and no
+// timeout this is byte-for-byte the pre-fault dispatch.
+func (s *AsyncServer) dispatch(job asyncJob, delay float64, st *AsyncRoundStats, wb int64) {
+	id := s.seq
+	s.seq++
+	at := s.clock.Now() + delay
+	if f := s.Cfg.Faults; f.NeedsVirtualTime() && !f.Available(job.client.ID, at) {
+		st.Deferred++
+		at = f.NextOn(job.client.ID, at)
+	}
+	lat := s.Async.Latency.Sample(job.client.ID, id)
+	fails := s.Cfg.Faults.FailCount(job.client.ID, job.key)
+	to := s.Async.Timeout
+	if job.attempt <= fails || (to > 0 && lat > to) {
+		s.events[id] = asyncEvent{job: job, timeout: true}
+		s.clock.Schedule(at+to, id)
+	} else {
+		s.events[id] = asyncEvent{job: job}
+		s.clock.Schedule(at+lat, id)
+	}
+	st.BytesDown += wb
 }
 
 // runJob lazily evaluates one completed job — training against the exact
@@ -298,7 +388,11 @@ func (s *AsyncServer) admit(st *AsyncRoundStats) {
 // (client, version) so no shared RNG stream advances, the zero-weight
 // accumulator state is unchanged, and the caller still releases the version
 // and accounts BytesUp (the client uploaded; the server discarded).
-func (s *AsyncServer) runJob(job asyncJob, discount float64) ClientResult {
+// The corruption process and the validation gate sit between training and
+// the fold: a poisoned update is detected against the exact global version
+// the client trained from and never reaches the accumulator — its client
+// lands in Rejected and its upload in BytesWasted.
+func (s *AsyncServer) runJob(job asyncJob, discount float64, st *AsyncRoundStats, wb int64) ClientResult {
 	if discount == 0 {
 		return ClientResult{ClientID: job.client.ID, DeviceIdx: job.client.Device}
 	}
@@ -306,7 +400,15 @@ func (s *AsyncServer) runJob(job asyncJob, discount float64) ClientResult {
 	scratch := s.pool.get(global)
 	defer s.pool.put(scratch)
 	res := localUpdate(s.Strategy, s.net, global, job.client, s.Cfg, s.Loss, job.version, &scratch)
-	s.acc.AccumulateWeighted(res, discount)
+	if m := s.Cfg.Faults.Corruption(job.client.ID, job.key); m != faults.None {
+		corruptUpdate(m, global, res.Weights)
+	}
+	if updateValid(global, res.Weights, s.Cfg.MaxDeltaNorm) {
+		s.acc.AccumulateWeighted(res, discount)
+	} else {
+		st.Rejected = append(st.Rejected, job.client.ID)
+		st.BytesWasted += wb
+	}
 	res.Weights = Weights{}
 	return res
 }
@@ -318,8 +420,6 @@ func (s *AsyncServer) RunRound() AsyncRoundStats {
 	st.Round = s.window
 	s.window++
 	s.admit(&st)
-	st.Dropped = s.dropped
-	s.dropped = nil
 
 	wb := weightBytes(s.Global)
 	var totalSamples, staleSum, discSum float64
@@ -328,14 +428,50 @@ func (s *AsyncServer) RunRound() AsyncRoundStats {
 		if !ok {
 			panic("fl: async event queue drained mid-window")
 		}
-		job := s.jobs[ev.ID]
-		delete(s.jobs, ev.ID)
+		e := s.events[ev.ID]
+		delete(s.events, ev.ID)
+		job := e.job
+		if e.timeout {
+			// The attempt's reissue deadline expired (the fault model failed
+			// it, or its latency overran the timeout). Timeouts never consume
+			// fold slots: either the job is redispatched against the current
+			// global with exponential backoff, or — attempts exhausted — the
+			// client is counted failed for the window and replaced so
+			// Concurrency jobs stay in flight.
+			s.store.Release(job.version, s.Global)
+			if job.attempt >= s.Async.MaxAttempts {
+				st.Failed++
+				if st.Failed > failedGuard(s.Async.Buffer) {
+					panic("fl: async window starved: every dispatched job times out (is the crash probability 1?)")
+				}
+				s.admit(&st)
+				fold--
+				continue
+			}
+			delay := math.Ldexp(s.Async.RetryBackoff, job.attempt-1)
+			job.attempt++
+			job.version = s.Version
+			s.store.Retain(s.Version, s.Global)
+			s.dispatch(job, delay, &st, wb)
+			st.Reissues++
+			fold--
+			continue
+		}
 		staleness := s.Version - job.version
 		discount := s.Async.Staleness.Weight(staleness)
-		if discount == 0 {
+		dropStale := s.Async.MaxStaleness > 0 && staleness > s.Async.MaxStaleness
+		if dropStale {
+			// The MaxStaleness drop rule fires before training: the upload
+			// already happened (BytesUp) but is discarded (BytesWasted), and
+			// the fold slot is consumed without a replacement draw, keeping
+			// the sampling stream pinned to the no-drop server's.
+			st.StaleDropped++
+			st.BytesWasted += wb
+			discount = 0
+		} else if discount == 0 {
 			st.Skipped++
 		}
-		res := s.runJob(job, discount)
+		res := s.runJob(job, discount, &st, wb)
 		s.store.Release(job.version, s.Global)
 
 		n := float64(res.NumSamples)
@@ -350,13 +486,18 @@ func (s *AsyncServer) RunRound() AsyncRoundStats {
 			st.MaxStaleness = staleness
 		}
 	}
+	// Collected after the fold loop so dropout observed while admitting
+	// replacements for failed jobs lands in this window's stats (with no
+	// faults, admission only happens up front and this is the same value).
+	st.Dropped = s.dropped
+	s.dropped = nil
 	if totalSamples > 0 {
 		st.MeanLoss /= totalSamples
 		st.MeanInit /= totalSamples
 	}
 	st.MeanStaleness = staleSum / float64(s.Async.Buffer)
 	st.MeanDiscount = discSum / float64(s.Async.Buffer)
-	st.TotalEpochs = (s.Async.Buffer - st.Skipped) * s.Cfg.LocalEpochs
+	st.TotalEpochs = (s.Async.Buffer - st.Skipped - st.StaleDropped) * s.Cfg.LocalEpochs
 
 	s.finalizeWindow()
 	st.VirtualTime = s.clock.Now()
@@ -404,11 +545,18 @@ func (s *AsyncServer) Run(callback func(AsyncRoundStats)) {
 	}
 }
 
+// failedGuard bounds permanent failures per window: past it every dispatch
+// is evidently timing out (e.g. crash probability 1) and the window can
+// never fill, so the simulation stops instead of spinning forever.
+func failedGuard(buffer int) int {
+	return 1000 * (buffer + 1)
+}
+
 // Now returns the current virtual time of the simulation.
 func (s *AsyncServer) Now() float64 { return s.clock.Now() }
 
 // InFlight returns the number of dispatched-but-unfolded jobs.
-func (s *AsyncServer) InFlight() int { return len(s.jobs) }
+func (s *AsyncServer) InFlight() int { return len(s.events) }
 
 // GlobalNet returns a network loaded with the current global weights, for
 // evaluation; it gets the full intra-op budget like the synchronous server's.

@@ -1,0 +1,389 @@
+package fl
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"heteroswitch/internal/faults"
+	"heteroswitch/internal/nn"
+	"heteroswitch/internal/simclock"
+)
+
+// corruptingFedAvg poisons the target client's returned update with a fixed
+// mode — the adversarial client of the gate tests. Embedding FedAvg keeps
+// the streaming/weighted fold capabilities the engines type-assert for.
+type corruptingFedAvg struct {
+	FedAvg
+	target int
+	mode   faults.Mode
+}
+
+func (c corruptingFedAvg) LocalUpdate(ctx *ClientContext) ClientResult {
+	res := c.FedAvg.LocalUpdate(ctx)
+	if ctx.Client.ID == c.target {
+		corruptUpdate(c.mode, ctx.Global, res.Weights)
+	}
+	return res
+}
+
+// absentFedAvg is the ground truth the gate must reproduce: the target
+// client reports a zero-sample, zero-delta result, which every engine folds
+// as an exact no-op (all sums are sample-weighted, and n = 0 terms add
+// nothing bit-for-bit) — i.e. the client's update never happened, while the
+// sampling and latency streams stay untouched.
+type absentFedAvg struct {
+	FedAvg
+	target int
+}
+
+func (a absentFedAvg) LocalUpdate(ctx *ClientContext) ClientResult {
+	if ctx.Client.ID == a.target {
+		return ClientResult{
+			ClientID: ctx.Client.ID, DeviceIdx: ctx.Client.Device,
+			Weights: ctx.SnapshotWeights(),
+		}
+	}
+	return a.FedAvg.LocalUpdate(ctx)
+}
+
+// gateServer is fixtureServer with a config hook (fault model, gate, paths).
+func gateServer(t *testing.T, strat Strategy, mutate func(*Config)) *Server {
+	t.Helper()
+	perDevice := fixtureData(24, 3)
+	clients, err := BuildPopulation(perDevice, []int{3, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Rounds: 12, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.2, Seed: 11, Workers: 2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := NewServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, strat, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// gateAsyncServer mirrors gateServer on the asynchronous engine.
+func gateAsyncServer(t *testing.T, strat Strategy, async AsyncConfig, mutate func(*Config)) *AsyncServer {
+	t.Helper()
+	perDevice := fixtureData(24, 3)
+	clients, err := BuildPopulation(perDevice, []int{3, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Rounds: 12, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.2, Seed: 11, Workers: 1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := NewAsyncServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, strat, clients, async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// The validation-gate contract on the synchronous engine, both aggregation
+// paths: a NaN/Inf/huge-norm delta from one client never perturbs the
+// global weights — bit-identical (tol 0) to a run where that client's
+// update never happened — and lands in Rejected/BytesWasted instead.
+func TestGateRejectsCorruptUpdateSyncEngine(t *testing.T) {
+	const target = 2
+	for _, mode := range []faults.Mode{faults.NaN, faults.Inf, faults.Blowup} {
+		for _, barrier := range []bool{false, true} {
+			name := mode.String()
+			if barrier {
+				name += "/barrier"
+			} else {
+				name += "/streaming"
+			}
+			t.Run(name, func(t *testing.T) {
+				ref := gateServer(t, absentFedAvg{target: target}, func(c *Config) {
+					c.DisableStreaming = barrier
+				})
+				ref.Run(nil)
+
+				srv := gateServer(t, corruptingFedAvg{target: target, mode: mode}, func(c *Config) {
+					c.DisableStreaming = barrier
+					c.MaxDeltaNorm = 50
+				})
+				sampledTarget, rejected := 0, 0
+				var wasted, up int64
+				srv.Run(func(st RoundStats) {
+					for _, id := range st.Sampled {
+						if id == target {
+							sampledTarget++
+						}
+					}
+					for _, id := range st.Rejected {
+						if id != target {
+							t.Fatalf("round %d rejected honest client %d", st.Round, id)
+						}
+						rejected++
+					}
+					wasted += st.BytesWasted
+					up += st.BytesUp
+				})
+				if sampledTarget == 0 {
+					t.Fatal("target client never sampled; fixture broken")
+				}
+				if rejected != sampledTarget {
+					t.Fatalf("target sampled %d times but rejected %d", sampledTarget, rejected)
+				}
+				if wasted != int64(rejected)*weightBytes(srv.Global) || wasted > up {
+					t.Fatalf("wasted-bytes accounting off: wasted=%d rejected=%d up=%d", wasted, rejected, up)
+				}
+				requireBitIdentical(t, ref.Global, srv.Global, name)
+			})
+		}
+	}
+}
+
+// The same contract on the asynchronous engine: corrupted completions are
+// gated between training and the fold, tol-0 against the absent-client run.
+func TestGateRejectsCorruptUpdateAsyncEngine(t *testing.T) {
+	const target = 2
+	async := AsyncConfig{
+		Staleness:   PolynomialStaleness{Alpha: 0.5},
+		Latency:     simclock.Uniform{Lo: 0.5, Hi: 2, Seed: 17},
+		Concurrency: 8,
+		Buffer:      4,
+	}
+	for _, mode := range []faults.Mode{faults.NaN, faults.Inf, faults.Blowup} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ref := gateAsyncServer(t, absentFedAvg{target: target}, async, nil)
+			ref.Run(nil)
+
+			srv := gateAsyncServer(t, corruptingFedAvg{target: target, mode: mode}, async, func(c *Config) {
+				c.MaxDeltaNorm = 50
+			})
+			sampledTarget, rejected := 0, 0
+			srv.Run(func(st AsyncRoundStats) {
+				for _, id := range st.Sampled {
+					if id == target {
+						sampledTarget++
+					}
+				}
+				for _, id := range st.Rejected {
+					if id != target {
+						t.Fatalf("window %d rejected honest client %d", st.Round, id)
+					}
+					rejected++
+				}
+			})
+			if sampledTarget == 0 || rejected != sampledTarget {
+				t.Fatalf("target folded %d times, rejected %d; want equal and > 0", sampledTarget, rejected)
+			}
+			requireBitIdentical(t, ref.Global, srv.Global, mode.String())
+		})
+	}
+}
+
+// With every update corrupted and the gate armed, the global model must
+// stay bit-frozen at its initialization: nothing poisoned ever lands.
+func TestSyncAllCorruptFreezesGlobal(t *testing.T) {
+	m := &faults.Model{Seed: 5, CorruptP: 1, CorruptMode: faults.NaN}
+	srv := gateServer(t, FedAvg{}, func(c *Config) {
+		c.Faults = m
+		c.MaxDeltaNorm = math.Inf(1) // non-finite check only
+	})
+	before := srv.GlobalNet().Snapshot()
+	srv.Run(func(st RoundStats) {
+		if len(st.Rejected) != len(st.Sampled) {
+			t.Fatalf("round %d: rejected %v, sampled %v; want all rejected",
+				st.Round, st.Rejected, st.Sampled)
+		}
+		if st.BytesWasted != st.BytesUp {
+			t.Fatalf("round %d: wasted %d != uploaded %d", st.Round, st.BytesWasted, st.BytesUp)
+		}
+	})
+	requireBitIdentical(t, before, srv.Global, "all-corrupt freeze")
+}
+
+// Engine/fault-model compatibility is enforced at construction.
+func TestFaultModelEngineRequirements(t *testing.T) {
+	perDevice := fixtureData(24, 3)
+	clients, err := BuildPopulation(perDevice, []int{3, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Rounds: 2, ClientsPerRound: 4, BatchSize: 4, LocalEpochs: 1,
+		LR: 0.2, Seed: 11, Workers: 1,
+	}
+	crash, err := faults.ParseSpec("crash:0.5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = crash
+	if _, err := NewServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, FedAvg{}, clients); err == nil {
+		t.Fatal("sync server accepted a crash fault model")
+	}
+	if _, err := NewAsyncServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, FedAvg{}, clients, AsyncConfig{}); err == nil {
+		t.Fatal("async server accepted crash faults without a timeout")
+	}
+	if _, err := NewAsyncServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, FedAvg{}, clients,
+		AsyncConfig{Timeout: 5}); err != nil {
+		t.Fatalf("async server rejected crash faults with a timeout: %v", err)
+	}
+	// Corruption-only models run on the sync engine.
+	cfg.Faults = &faults.Model{Seed: 1, CorruptP: 0.5, CorruptMode: faults.Mix}
+	if _, err := NewServer(cfg, fixtureBuilder(5), nn.SoftmaxCrossEntropy{}, FedAvg{}, clients); err != nil {
+		t.Fatalf("sync server rejected a corruption-only model: %v", err)
+	}
+}
+
+// A full chaos configuration — crash, transient failure, corruption, churn,
+// timeouts with backoff, the staleness drop rule, and the gate — must be
+// bit-reproducible run-to-run: weights and the entire stats stream,
+// including every fault counter.
+func TestAsyncChaosBitReproducible(t *testing.T) {
+	mk := func() (*AsyncServer, []AsyncRoundStats) {
+		m, err := faults.ParseSpec("crash:0.25+flaky:0.3,1+corrupt:0.3,mix+churn:30,0.5", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := gateAsyncServer(t, FedAvg{}, AsyncConfig{
+			Staleness:    PolynomialStaleness{Alpha: 0.5},
+			Latency:      simclock.Uniform{Lo: 0.5, Hi: 2, Seed: 17},
+			Concurrency:  8,
+			Buffer:       4,
+			Timeout:      5,
+			RetryBackoff: 0.5,
+			MaxAttempts:  2,
+			MaxStaleness: 2,
+		}, func(c *Config) {
+			c.Faults = m
+			c.MaxDeltaNorm = 50
+		})
+		var stats []AsyncRoundStats
+		srv.Run(func(s AsyncRoundStats) { stats = append(stats, s) })
+		return srv, stats
+	}
+	a, sa := mk()
+	b, sb := mk()
+	requireBitIdentical(t, a.Global, b.Global, "chaos reproducibility")
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("chaos stats streams diverged between identical runs")
+	}
+	var reissues, failed, rejected, deferred, staleDropped int
+	var wasted int64
+	for _, st := range sa {
+		reissues += st.Reissues
+		failed += st.Failed
+		rejected += len(st.Rejected)
+		deferred += st.Deferred
+		staleDropped += st.StaleDropped
+		wasted += st.BytesWasted
+	}
+	if reissues == 0 || failed == 0 || rejected == 0 || deferred == 0 {
+		t.Fatalf("chaos config did not exercise all fault paths: reissues=%d failed=%d rejected=%d deferred=%d staleDropped=%d",
+			reissues, failed, rejected, deferred, staleDropped)
+	}
+	if wasted == 0 {
+		t.Fatal("chaos run wasted no bytes despite rejections")
+	}
+	// Every folded window still fills completely.
+	for _, st := range sa {
+		if len(st.Sampled) != 4 {
+			t.Fatalf("window %d folded %d results, want 4", st.Round, len(st.Sampled))
+		}
+	}
+}
+
+// The MaxStaleness drop rule's twin-run contract: against the no-drop
+// server, the sampling/dropout RNG streams, the virtual clock, and the
+// byte totals stay pinned — only the fold outcomes change, with dropped
+// uploads accounted as wasted and their training skipped.
+func TestAsyncMaxStalenessTwinRun(t *testing.T) {
+	base := AsyncConfig{
+		Staleness:   PolynomialStaleness{Alpha: 0.5},
+		Latency:     simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.3, TailFactor: 8, Seed: 17},
+		Concurrency: 8,
+		Buffer:      4,
+	}
+	drop := base
+	drop.MaxStaleness = 1
+
+	run := func(async AsyncConfig) []AsyncRoundStats {
+		srv := gateAsyncServer(t, FedAvg{}, async, func(c *Config) { c.ClientDropout = 0.2 })
+		var stats []AsyncRoundStats
+		srv.Run(func(s AsyncRoundStats) { stats = append(stats, s) })
+		return stats
+	}
+	plain := run(base)
+	dropped := run(drop)
+
+	totalStale := 0
+	for i := range plain {
+		p, d := plain[i], dropped[i]
+		if !reflect.DeepEqual(p.Sampled, d.Sampled) || !reflect.DeepEqual(p.Dropped, d.Dropped) {
+			t.Fatalf("window %d: sampling streams diverged under the drop rule", i)
+		}
+		if p.VirtualTime != d.VirtualTime {
+			t.Fatalf("window %d: virtual clocks diverged: %g vs %g", i, p.VirtualTime, d.VirtualTime)
+		}
+		if p.BytesDown != d.BytesDown || p.BytesUp != d.BytesUp {
+			t.Fatalf("window %d: byte totals diverged", i)
+		}
+		if d.TotalEpochs != p.TotalEpochs-d.StaleDropped {
+			t.Fatalf("window %d: dropped results still paid training: %d vs %d (dropped %d)",
+				i, d.TotalEpochs, p.TotalEpochs, d.StaleDropped)
+		}
+		if wb := d.BytesUp / 4; d.StaleDropped > 0 && d.BytesWasted != int64(d.StaleDropped)*wb {
+			t.Fatalf("window %d: wasted %d bytes for %d dropped results (wb %d)",
+				i, d.BytesWasted, d.StaleDropped, wb)
+		}
+		totalStale += d.StaleDropped
+	}
+	if totalStale == 0 {
+		t.Fatal("drop rule never fired; straggler config too tame")
+	}
+}
+
+// Timeout reissue without any fault model: straggler latencies overrun the
+// deadline, the job is redispatched with exponential backoff, and the whole
+// schedule is bit-reproducible.
+func TestAsyncTimeoutReissueDeterministic(t *testing.T) {
+	run := func() (*AsyncServer, []AsyncRoundStats) {
+		srv := gateAsyncServer(t, FedAvg{}, AsyncConfig{
+			Staleness:    PolynomialStaleness{Alpha: 0.5},
+			Latency:      simclock.StragglerTail{Lo: 0.5, Hi: 2, TailProb: 0.3, TailFactor: 8, Seed: 17},
+			Concurrency:  8,
+			Buffer:       4,
+			Timeout:      3,
+			RetryBackoff: 0.25,
+			MaxAttempts:  3,
+		}, nil)
+		var stats []AsyncRoundStats
+		srv.Run(func(s AsyncRoundStats) { stats = append(stats, s) })
+		return srv, stats
+	}
+	a, sa := run()
+	b, sb := run()
+	requireBitIdentical(t, a.Global, b.Global, "timeout reissue reproducibility")
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("timeout stats streams diverged between identical runs")
+	}
+	reissues := 0
+	for _, st := range sa {
+		reissues += st.Reissues
+		if len(st.Sampled) != 4 {
+			t.Fatalf("window %d folded %d results, want 4", st.Round, len(st.Sampled))
+		}
+		if st.Rejected != nil || st.StaleDropped != 0 {
+			t.Fatalf("window %d: gate/drop fired without faults: %+v", st.Round, st)
+		}
+	}
+	if reissues == 0 {
+		t.Fatal("straggler tail never overran the timeout; config too tame")
+	}
+}

@@ -11,8 +11,10 @@ package fl
 
 import (
 	"fmt"
+	"math"
 
 	"heteroswitch/internal/dataset"
+	"heteroswitch/internal/faults"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/models"
 	"heteroswitch/internal/nn"
@@ -47,6 +49,19 @@ type Config struct {
 	// strategy implements StreamingAggregator. Used for A/B memory
 	// comparisons and debugging; leave false in production runs.
 	DisableStreaming bool
+	// Faults injects seeded client failures (see internal/faults). nil
+	// injects nothing and is the bit-identical pre-fault behavior. The
+	// synchronous Server accepts corruption-only models; crash, transient
+	// failure, and churn need the virtual-time AsyncServer.
+	Faults *faults.Model
+	// MaxDeltaNorm arms the update-validation gate: before a client update
+	// touches the global accumulator, the server checks the delta (client
+	// weights minus the weights it trained from, parameters and states) and
+	// rejects the update when any element is non-finite or the delta's L2
+	// norm exceeds MaxDeltaNorm. 0 disables the gate entirely (the pre-gate
+	// behavior); +Inf keeps only the non-finite check. Rejected clients are
+	// listed in RoundStats.Rejected and their upload counted in BytesWasted.
+	MaxDeltaNorm float64
 }
 
 // Default returns the paper's configuration with a modest round count; the
@@ -76,6 +91,9 @@ func (c Config) Validate() error {
 	}
 	if c.IntraOp < 0 {
 		return fmt.Errorf("fl: negative intra-op budget %d", c.IntraOp)
+	}
+	if c.MaxDeltaNorm < 0 || math.IsNaN(c.MaxDeltaNorm) {
+		return fmt.Errorf("fl: invalid max delta norm %v", c.MaxDeltaNorm)
 	}
 	return nil
 }
@@ -174,6 +192,14 @@ type RoundStats struct {
 	// reported back (up) this round, assuming float32 tensors on the wire.
 	BytesDown int64
 	BytesUp   int64
+	// Rejected lists clients whose reported update failed the validation
+	// gate (non-finite or norm-exploded delta, see Config.MaxDeltaNorm);
+	// their upload never touches the global accumulator.
+	Rejected []int
+	// BytesWasted counts upload bytes the server received but discarded:
+	// gate-rejected updates, and on the async engine also results dropped
+	// by the MaxStaleness rule. Always a subset of BytesUp.
+	BytesWasted int64
 }
 
 // Population helpers ---------------------------------------------------------

@@ -50,6 +50,9 @@ func NewServer(cfg Config, builder Builder, loss nn.Loss, strategy Strategy, cli
 	if cfg.ClientsPerRound > len(clients) {
 		return nil, fmt.Errorf("fl: K=%d exceeds population %d", cfg.ClientsPerRound, len(clients))
 	}
+	if cfg.Faults.NeedsVirtualTime() {
+		return nil, fmt.Errorf("fl: fault model %q needs the virtual-time async engine for crash/flaky/churn; the synchronous server supports corruption-only models", cfg.Faults)
+	}
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -183,6 +186,9 @@ func (s *Server) RunRound(round int) RoundStats {
 	runClient := func(net *nn.Network, i int, scratch *nn.Weights) ClientResult {
 		return localUpdate(s.Strategy, net, s.Global, sampled[i], s.Cfg, s.Loss, round, scratch)
 	}
+	// rejected[i] marks a result the validation gate kept out of aggregation;
+	// workers write disjoint indices, stats are collected in client order.
+	rejected := make([]bool, len(sampled))
 
 	var wg sync.WaitGroup
 	if streaming {
@@ -209,7 +215,11 @@ func (s *Server) RunRound(round int) RoundStats {
 				defer s.pool.put(scratch)
 				for i := lo; i < hi; i++ {
 					res := runClient(net, i, &scratch)
-					acc.Accumulate(res)
+					if s.admitUpdate(&res, round) {
+						acc.Accumulate(res)
+					} else {
+						rejected[i] = true
+					}
 					// The weights may alias the scratch buffer and have
 					// been folded already; keep only the scalar stats.
 					res.Weights = Weights{}
@@ -235,7 +245,25 @@ func (s *Server) RunRound(round int) RoundStats {
 		}
 		close(jobs)
 		wg.Wait()
-		s.Global = s.Strategy.Aggregate(s.Global, results, s.Cfg)
+		agg := results
+		nrej := 0
+		for i := range results {
+			if !s.admitUpdate(&results[i], round) {
+				rejected[i] = true
+				nrej++
+			}
+		}
+		if nrej > 0 {
+			agg = make([]ClientResult, 0, len(results)-nrej)
+			for i, r := range results {
+				if !rejected[i] {
+					agg = append(agg, r)
+				}
+			}
+		}
+		if len(agg) > 0 {
+			s.Global = s.Strategy.Aggregate(s.Global, agg, s.Cfg)
+		}
 	}
 
 	stats := RoundStats{Round: round, Dropped: dropped}
@@ -243,12 +271,16 @@ func (s *Server) RunRound(round int) RoundStats {
 	stats.BytesDown = wb * int64(len(sampled)+len(dropped)) // broadcast before dropout is known
 	stats.BytesUp = wb * int64(len(sampled))
 	var totalSamples float64
-	for _, r := range results {
+	for i, r := range results {
 		n := float64(r.NumSamples)
 		stats.MeanLoss += r.TrainLoss * n
 		stats.MeanInit += r.InitLoss * n
 		totalSamples += n
 		stats.Sampled = append(stats.Sampled, r.ClientID)
+		if rejected[i] {
+			stats.Rejected = append(stats.Rejected, r.ClientID)
+			stats.BytesWasted += wb
+		}
 	}
 	if totalSamples > 0 {
 		stats.MeanLoss /= totalSamples

@@ -82,11 +82,24 @@ func (h *Histogram) String() string {
 // and an FNV-1a digest of every request's output in request order — the
 // value two runs (or two intra-op budgets) must reproduce bit-for-bit.
 type Report struct {
-	Requests    int
-	Batches     int
-	MeanBatch   float64
-	VirtualTime float64
-	// Throughput is Requests / VirtualTime (virtual requests per time unit).
+	// Requests counts every finished request, served or shed; Served only
+	// those that completed service (latency stats cover exactly these).
+	Requests int
+	Served   int
+	// ShedQueue/ShedDeadline count admission rejections: arrivals refused at
+	// a full pending queue, and queued requests dropped at service start
+	// because their wait blew the deadline. Reissues counts closed-loop
+	// clients that immediately re-entered after a shed; MaxQueue is the
+	// peak pending depth (forming batch plus flushed queue). All zero when
+	// admission control is off.
+	ShedQueue    int
+	ShedDeadline int
+	Reissues     int
+	MaxQueue     int
+	Batches      int
+	MeanBatch    float64
+	VirtualTime  float64
+	// Throughput is Served / VirtualTime (virtual requests per time unit).
 	Throughput    float64
 	MeanLatency   float64
 	P50, P95, P99 float64
@@ -120,6 +133,8 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "requests=%d batches=%d mean_batch=%.6g\n", r.Requests, r.Batches, r.MeanBatch)
 	fmt.Fprintf(&b, "virtual_time=%.6g throughput=%.6g req/unit\n", r.VirtualTime, r.Throughput)
 	fmt.Fprintf(&b, "latency mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n", r.MeanLatency, r.P50, r.P95, r.P99)
+	fmt.Fprintf(&b, "admission served=%d shed_queue=%d shed_deadline=%d reissues=%d max_queue=%d\n",
+		r.Served, r.ShedQueue, r.ShedDeadline, r.Reissues, r.MaxQueue)
 	fmt.Fprintf(&b, "output_digest=%016x\n", r.OutputDigest)
 	b.WriteString(r.Hist.String())
 	return b.String()

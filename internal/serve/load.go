@@ -108,6 +108,17 @@ type loadState struct {
 	batchesDone int
 	sizeSum     int
 
+	// Admission accounting. pending counts requests admitted but not yet at
+	// a worker (forming batch plus flushed queue); served counts requests
+	// that actually completed service (lat[:served] holds their latencies in
+	// completion order — quantiles sort, so the multiset is what matters).
+	pending  int
+	maxQueue int
+	served   int
+	shedQ    int
+	shedD    int
+	reissues int
+
 	// staging[n-1] is the [n, sample...] input tensor batches of size n are
 	// assembled into before the frozen forward.
 	staging []*tensor.Tensor
@@ -257,7 +268,9 @@ func (s *Server) step() bool {
 }
 
 // onArrival admits one request to the forming batch, flushing at MaxBatch
-// and arming the budget deadline when the batch opens.
+// and arming the budget deadline when the batch opens. Under a bounded
+// admission depth, an arrival finding the pending set full is shed on the
+// spot — the closed loop reissues, the open loop keeps chaining either way.
 func (ld *loadState) onArrival(req int) {
 	ld.arrTime[req] = ld.clock.Now()
 	if !ld.lc.Arrival.Closed() && ld.nextReq <= ld.lc.Requests-1 {
@@ -265,6 +278,14 @@ func (ld *loadState) onArrival(req int) {
 		id := ld.nextReq
 		ld.nextReq++
 		ld.schedule(ld.lc.Arrival.Delay(0, id), simEvent{kind: evArrival, req: id})
+	}
+	if d := ld.srv.cfg.Admission.Depth; d > 0 && ld.pending >= d {
+		ld.shed(req, true)
+		return
+	}
+	ld.pending++
+	if ld.pending > ld.maxQueue {
+		ld.maxQueue = ld.pending
 	}
 	if len(ld.forming) == 0 && ld.srv.cfg.MaxBatch > 1 {
 		// Arm the budget deadline when the batch opens. A zero budget still
@@ -294,11 +315,64 @@ func (ld *loadState) flush() {
 	}
 }
 
+// shed rejects one request without serving it: its output slot stays zero,
+// no latency is recorded, and — like a completion — a closed-loop client
+// whose request was shed immediately issues its next one (counted as a
+// reissue). atAdmission distinguishes depth-bound sheds from deadline sheds.
+func (ld *loadState) shed(req int, atAdmission bool) {
+	if atAdmission {
+		ld.shedQ++
+	} else {
+		ld.shedD++
+	}
+	ld.done++
+	if ld.feed(req) {
+		ld.reissues++
+	}
+}
+
+// feed schedules the closed-loop successor of a finished (served or shed)
+// request, reporting whether one was issued.
+func (ld *loadState) feed(id int) bool {
+	if !ld.lc.Arrival.Closed() || ld.nextReq >= ld.lc.Requests {
+		return false
+	}
+	c := int(ld.reqClient[id])
+	nid := ld.nextReq
+	ld.nextReq++
+	ld.reqClient[nid] = int32(c)
+	ld.schedule(ld.lc.Arrival.Delay(c, ld.clientStep[c]), simEvent{kind: evArrival, req: nid})
+	ld.clientStep[c]++
+	return true
+}
+
 // startService executes the batch NOW (the compute is real: assemble inputs,
 // ensure the replica serves the pinned version, run the frozen forward, copy
 // outputs out by request id) and schedules its completion at now + the
-// service model's virtual duration.
+// service model's virtual duration. Under a deadline policy, requests whose
+// queueing wait already blew the deadline are shed here — at the last
+// instant before they would burn service capacity; a fully-shed batch
+// releases its version pin and never reaches a worker.
 func (ld *loadState) startService(b *batch) {
+	ld.pending -= len(b.ids)
+	if dl := ld.srv.cfg.Admission.Deadline; dl > 0 {
+		now := ld.clock.Now()
+		kept := b.ids[:0]
+		for _, id := range b.ids {
+			if now-ld.arrTime[id] > dl {
+				ld.shed(id, false)
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		b.ids = kept
+		if len(b.ids) == 0 {
+			ld.srv.store.Release(b.version)
+			b.w = nn.Weights{}
+			ld.putBatch(b)
+			return
+		}
+	}
 	ld.busy++
 	rep := ld.srv.pool.Get()
 	b.rep = rep
@@ -329,17 +403,11 @@ func (ld *loadState) onDone(b *batch) {
 	ld.busy--
 	for _, id := range b.ids {
 		d := now - ld.arrTime[id]
-		ld.lat[id] = d
+		ld.lat[ld.served] = d
+		ld.served++
 		ld.hist.Add(d)
 		ld.done++
-		if ld.lc.Arrival.Closed() && ld.nextReq < ld.lc.Requests {
-			c := int(ld.reqClient[id])
-			nid := ld.nextReq
-			ld.nextReq++
-			ld.reqClient[nid] = int32(c)
-			ld.schedule(ld.lc.Arrival.Delay(c, ld.clientStep[c]), simEvent{kind: evArrival, req: nid})
-			ld.clientStep[c]++
-		}
+		ld.feed(id)
 	}
 	ld.srv.store.Release(b.version)
 	ld.srv.pool.Put(b.rep)
@@ -385,20 +453,44 @@ func (ld *loadState) putBatch(b *batch) { ld.freeBatches = append(ld.freeBatches
 // report summarizes the completed run.
 func (ld *loadState) report() Report {
 	r := Report{
-		Requests:    ld.done,
-		Batches:     ld.batchesDone,
-		VirtualTime: ld.clock.Now(),
-		Hist:        ld.hist,
+		Requests:     ld.done,
+		Served:       ld.served,
+		ShedQueue:    ld.shedQ,
+		ShedDeadline: ld.shedD,
+		Reissues:     ld.reissues,
+		MaxQueue:     ld.maxQueue,
+		Batches:      ld.batchesDone,
+		VirtualTime:  ld.clock.Now(),
+		Hist:         ld.hist,
 	}
 	if ld.batchesDone > 0 {
 		r.MeanBatch = float64(ld.sizeSum) / float64(ld.batchesDone)
 	}
 	if r.VirtualTime > 0 {
-		r.Throughput = float64(ld.done) / r.VirtualTime
+		r.Throughput = float64(ld.served) / r.VirtualTime
 	}
-	r.quantiles(ld.lat[:ld.done])
+	r.quantiles(ld.lat[:ld.served])
 	r.OutputDigest = digest(ld.outs)
+	if ld.srv.cfg.Admission.Enabled() {
+		// Fold the admission counters into the digest so a run that shed a
+		// different request set cannot collide with one that didn't. Shed
+		// requests already perturb the base digest (their output slots stay
+		// zero), but the counters make the witness explicit. Admission-off
+		// digests are untouched — the pre-admission bit-identity contract.
+		for _, c := range [...]int{ld.served, ld.shedQ, ld.shedD, ld.reissues, ld.maxQueue} {
+			r.OutputDigest = foldU64(r.OutputDigest, uint64(c))
+		}
+	}
 	return r
+}
+
+// foldU64 mixes eight little-endian bytes of v into an FNV-1a digest.
+func foldU64(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= 1099511628211
+	}
+	return h
 }
 
 // digest is FNV-1a over the float32 bit patterns in request order — the

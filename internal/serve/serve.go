@@ -2,6 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"heteroswitch/internal/nn"
 	"heteroswitch/internal/parallel"
@@ -24,6 +27,50 @@ type Config struct {
 	// workers (each replica gets at least 1). 0 means the machine
 	// (parallel.Workers()).
 	IntraOp int
+	// Admission is the overload policy. The zero value disables admission
+	// control entirely — bit-identical to the pre-admission harness.
+	Admission AdmissionConfig
+}
+
+// AdmissionConfig bounds the serving pending queue so closed-loop overload
+// degrades to deterministic rejections with stable tail latency instead of
+// unbounded virtual queueing.
+type AdmissionConfig struct {
+	// Depth caps requests pending service (forming batch plus flushed
+	// queue): an arrival finding Depth requests pending is shed
+	// immediately. 0 = unbounded.
+	Depth int
+	// Deadline sheds queued requests whose wait already exceeds it when
+	// their batch reaches a worker — they would only burn service capacity
+	// on an answer the client gave up on. 0 = no deadline.
+	Deadline float64
+}
+
+// Enabled reports whether any admission mechanism is active.
+func (a AdmissionConfig) Enabled() bool { return a.Depth > 0 || a.Deadline > 0 }
+
+// ParseAdmission parses the CLI admission spec "DEPTH,DEADLINE" (either may
+// be 0 to disable that mechanism); "" and "off" disable admission control.
+func ParseAdmission(spec string) (AdmissionConfig, error) {
+	if spec == "" || spec == "off" {
+		return AdmissionConfig{}, nil
+	}
+	depthStr, deadStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return AdmissionConfig{}, fmt.Errorf("serve: admission spec %q wants DEPTH,DEADLINE (e.g. 64,12)", spec)
+	}
+	var a AdmissionConfig
+	var err error
+	if a.Depth, err = strconv.Atoi(strings.TrimSpace(depthStr)); err != nil {
+		return AdmissionConfig{}, fmt.Errorf("serve: admission depth in %q: %v", spec, err)
+	}
+	if a.Deadline, err = strconv.ParseFloat(strings.TrimSpace(deadStr), 64); err != nil {
+		return AdmissionConfig{}, fmt.Errorf("serve: admission deadline in %q: %v", spec, err)
+	}
+	if a.Depth < 0 || !(a.Deadline >= 0) || math.IsInf(a.Deadline, 1) {
+		return AdmissionConfig{}, fmt.Errorf("serve: admission spec %q out of range", spec)
+	}
+	return a, nil
 }
 
 // withDefaults resolves zero fields.
@@ -48,6 +95,10 @@ func (c Config) validate() error {
 	}
 	if c.BatchBudget < 0 {
 		return fmt.Errorf("serve: negative batch budget %g", c.BatchBudget)
+	}
+	if c.Admission.Depth < 0 || c.Admission.Deadline < 0 ||
+		math.IsNaN(c.Admission.Deadline) {
+		return fmt.Errorf("serve: invalid admission config %+v", c.Admission)
 	}
 	return nil
 }
