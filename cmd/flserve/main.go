@@ -6,6 +6,12 @@
 // byte-identical output — including per-request output digests and the
 // latency histogram — at every -intraop setting, which is exactly what the
 // CI smoke diffs.
+//
+// -train switches to the train-while-serve harness: an asynchronous
+// federated trainer and the serving stack share one virtual time axis, every
+// finalized global version is published into the serving store at its
+// finalize instant, and the report adds per-request served-version
+// staleness. The same byte-identity contract holds.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteroswitch/internal/experiments"
 	"heteroswitch/internal/frand"
 	"heteroswitch/internal/models"
 	"heteroswitch/internal/nn"
@@ -34,29 +41,78 @@ func main() {
 		intraop     = flag.Int("intraop", 0, "total intra-op kernel budget split across workers (0 = GOMAXPROCS; outputs are bit-identical at every setting)")
 		svcBase     = flag.Float64("service-base", 1, "virtual per-dispatch service cost")
 		svcItem     = flag.Float64("service-per-item", 0.25, "virtual per-request service cost")
-		publish     = flag.Int("publish-every", 0, "republish the model (same values, new version) every N batches, exercising version-cache churn (0 = off)")
+		publish     = flag.Int("publish-every", 0, "republish the model (same values, new version) every N batches, exercising version-cache churn (0 = off; unwired runs only)")
 		bank        = flag.Int("inputs", 32, "distinct request payloads in the input bank")
 		admission   = flag.String("admission", "", "overload admission policy DEPTH,DEADLINE: shed arrivals beyond DEPTH pending requests and queued requests older than DEADLINE at service start (either 0 disables that mechanism; empty or 'off' = no admission control)")
+		flush       = flag.String("flush", "", "queued-batch start order: fifo (default) or edf (earliest deadline first, deadline = oldest request arrival + admission DEADLINE)")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		backend     = flag.String("kernel-backend", tensor.ActiveBackend().String(), "matmul kernel backend for the frozen replicas: auto (packed when profitable), serial (bit-identical oracle kernels), packed (force the cache-blocked kernel); default honors HETEROSWITCH_KERNEL_BACKEND")
+
+		train      = flag.Bool("train", false, "run the train-while-serve harness (experiments \"train-serve\") instead of the synthetic load harness; serving-side flags above are ignored")
+		trainScale = flag.Float64("train-scale", 0.2, "train-while-serve workload scale (1 = full reproduction size)")
+		latency    = flag.String("latency-model", "", "virtual client latency for -train: zero, const:D, uniform:LO,HI, straggler:LO,HI,P,FACTOR (empty = uniform:0.5,2)")
+		alpha      = flag.Float64("staleness-alpha", 0.5, "polynomial staleness discount 1/(1+s)^alpha for -train async folds (0 = no discount)")
+		asyncDepth = flag.Int("async-depth", 2, "in-flight async jobs as a multiple of K for -train (1 = no overlap)")
 	)
 	flag.Parse()
 
-	if err := run(*model, *classes, *side, *requests, *concurrency, *arrival,
-		*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *admission, *seed, *backend); err != nil {
+	var err error
+	if *train {
+		err = runTrain(*trainScale, *seed, *workers, *intraop, *latency, *alpha, *asyncDepth, *backend)
+	} else {
+		err = run(*model, *classes, *side, *requests, *concurrency, *arrival,
+			*maxBatch, *budget, *workers, *intraop, *svcBase, *svcItem, *publish, *bank, *admission, *flush, *seed, *backend)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserve:", err)
 		os.Exit(1)
 	}
 }
 
+// runTrain runs the wired train-while-serve harness: training publishes into
+// the serving store on one virtual clock, the serving report gains the
+// staleness block, and the whole stdout is a pure function of the flags.
+func runTrain(scale float64, seed uint64, workers, intraop int, latency string, alpha float64, depth int, backend string) error {
+	fmt.Printf("flserve train-while-serve scale=%g seed=%d latency=%s staleness_alpha=%g depth=%d\n",
+		scale, seed, orDefault(latency, "uniform:0.5,2"), alpha, depth)
+	opts := experiments.DefaultOptions()
+	opts.Scale = scale
+	opts.Seed = seed
+	opts.Workers = max(workers, 1)
+	opts.IntraOp = intraop
+	opts.KernelBackend = backend
+	opts.Async = experiments.AsyncOptions{
+		StalenessAlpha: alpha,
+		LatencyModel:   latency,
+		Depth:          depth,
+	}
+	res, err := experiments.Run("train-serve", opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
 func run(model string, classes, side, requests, concurrency int, arrivalSpec string,
 	maxBatch int, budget float64, workers, intraop int, svcBase, svcItem float64,
-	publish, bank int, admissionSpec string, seed uint64, backend string) error {
+	publish, bank int, admissionSpec, flushSpec string, seed uint64, backend string) error {
 	kb, err := tensor.ParseBackend(backend)
 	if err != nil {
 		return err
 	}
 	admission, err := serve.ParseAdmission(admissionSpec)
+	if err != nil {
+		return err
+	}
+	flush, err := serve.ParseFlush(flushSpec)
 	if err != nil {
 		return err
 	}
@@ -78,6 +134,7 @@ func run(model string, classes, side, requests, concurrency int, arrivalSpec str
 		Workers:     workers,
 		IntraOp:     intraop,
 		Admission:   admission,
+		Flush:       flush,
 	})
 	if err != nil {
 		return err
@@ -90,8 +147,15 @@ func run(model string, classes, side, requests, concurrency int, arrivalSpec str
 	}
 
 	fmt.Printf("flserve model=%s classes=%d input=3x%dx%d\n", model, classes, side, side)
-	fmt.Printf("config max_batch=%d batch_budget=%g workers=%d intraop=%d arrival=%s service=affine(%g,%g) publish_every=%d admission=%d,%g seed=%d\n",
-		maxBatch, budget, workers, intraop, arrivalSpec, svcBase, svcItem, publish, admission.Depth, admission.Deadline, seed)
+	// The FIFO default keeps this line — and therefore the whole default
+	// stdout — byte-identical to earlier releases; a non-default flush
+	// policy is appended so it shows up in the smoke diff.
+	flushNote := ""
+	if flush != serve.FlushFIFO {
+		flushNote = fmt.Sprintf(" flush=%s", flush)
+	}
+	fmt.Printf("config max_batch=%d batch_budget=%g workers=%d intraop=%d arrival=%s service=affine(%g,%g) publish_every=%d admission=%d,%g seed=%d%s\n",
+		maxBatch, budget, workers, intraop, arrivalSpec, svcBase, svcItem, publish, admission.Depth, admission.Deadline, seed, flushNote)
 
 	report, err := srv.RunLoad(serve.LoadConfig{
 		Requests:     requests,

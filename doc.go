@@ -282,20 +282,53 @@
 //     exact version it was admitted under. Flushed batches execute on
 //     Config.Workers frozen replicas (nn.ReplicaPool), each granted
 //     IntraOp/Workers cores; a replica reloads + re-folds weights only when
-//     its pinned version changes (nn.Replica.Ensure), not per batch.
+//     its pinned version changes (nn.Replica.Ensure), not per batch. If
+//     Ensure fails at service start, the error path rolls back everything
+//     the batch held — the busy slot, the borrowed replica, the version
+//     pin, the batch struct — before surfacing the error, so a failed run
+//     leaves the pool full, the store at Live()==1, and nothing leaked.
+//   - Flush order: flushed batches start in FIFO order by default.
+//     Config.Flush = FlushEDF (flserve -flush edf) starts them earliest-
+//     deadline-first instead, deadline = oldest member's arrival +
+//     Admission.Deadline, ties broken by flush sequence. Without version
+//     churn the two orders coincide (flush order is already deadline
+//     order, asserted bit-for-bit); under churn FIFO's publish-triggered
+//     flush lets the forming batch (the newest arrivals) jump older queued
+//     batches onto the freed worker, so under overload EDF sheds strictly
+//     fewer deadline-expired requests at equal offered load.
 //   - Load harness: Server.RunLoad drives the stack in virtual time on a
 //     single goroutine — seeded open-loop (Poisson) or closed-loop
 //     (exponential think time) arrivals, an affine virtual service-time
 //     model, and a power-of-two-bucket latency histogram (math.Frexp
 //     bucketing, no libm). The steady-state request path performs zero heap
-//     allocations (asserted by TestLoadSteadyStateZeroAlloc).
+//     allocations (asserted by TestLoadSteadyStateZeroAlloc). Report
+//     quantiles are nearest-rank order statistics (index ceil(q·n)-1), so
+//     the printed p99 is the smallest latency with ≥99% of requests at or
+//     below it.
+//
+// Train-while-serve wiring: fl.AsyncServer.OnPublish fires synchronously
+// from finalizeWindow for every window that installs a new global version
+// (zero-weight windows publish nothing), with (version, weights, virtual
+// time); the weights are only valid during the call — consumers copy them
+// into a recycled buffer (serve.Store.TakeBuffer) and land them with
+// Server.PublishAt(t, w), which advances the serving simulation to t and
+// applies the publish on the shared virtual clock. Server.BeginTrainLoad /
+// PublishAt / FinishTrainLoad run training completions and serving arrivals
+// as one deterministic event stream (experiments.RunTrainServe, flserve
+// -train); wired runs replace the synthetic PublishEvery churn knob and
+// extend the Report with served-version staleness — how many versions
+// behind the newest finalized global each request was served
+// (min/mean/max + histogram, folded into the output digest). Unwired runs
+// carry no staleness fields and print byte-identical reports to earlier
+// releases.
 //
 // Determinism contract (asserted at tolerance 0 by the serve tests and
-// diffed byte-for-byte by the CI flserve smoke): a load run's Report —
-// per-request output digest, latency histogram, quantiles, virtual
-// throughput — is a pure function of (model weights, LoadConfig, Config),
-// bit-identical across runs and across every intra-op budget; version churn
-// (PublishEvery republishing identical values) may legally shift batch
+// diffed byte-for-byte by the CI flserve and train-while-serve smokes): a
+// load run's Report — per-request output digest, latency histogram,
+// quantiles, virtual throughput, staleness when wired — is a pure function
+// of (model weights, LoadConfig, Config), bit-identical across runs and
+// across every intra-op budget; version churn (publishes from the trainer,
+// or PublishEvery republishing identical values) may legally shift batch
 // boundaries and therefore the latency schedule, but never the outputs.
 // Server.PredictInto is the synchronous concurrent entry point (real
 // goroutines, no virtual time) and keeps only the output contract: results

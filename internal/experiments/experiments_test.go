@@ -34,7 +34,7 @@ func TestRegistryNames(t *testing.T) {
 	want := []string{"fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig7",
 		"table4", "table5", "table6", "fig8", "ecg", "fig9",
 		"ablation-switch", "ablation-alpha", "ablation-degrees", "unseen-dg",
-		"async-sweep"}
+		"async-sweep", "train-serve"}
 	have := map[string]bool{}
 	for _, n := range names {
 		have[n] = true

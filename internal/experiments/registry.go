@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"unseen-dg":        wrap(UnseenDG),
 	"ablation-alpha":   wrap(AblationEMAAlpha),
 	"ablation-degrees": wrap(AblationDegrees),
+	"train-serve":      wrap(TrainWhileServe),
 }
 
 // Names returns the sorted experiment ids.

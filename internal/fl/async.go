@@ -228,6 +228,16 @@ type AsyncServer struct {
 	// Version counts applied global updates. A window whose folds all carried
 	// zero weight leaves the model — and so the version — unchanged.
 	Version int
+	// OnPublish, when non-nil, is invoked synchronously from finalizeWindow
+	// for every window that installed a new global version, with the new
+	// version counter, the new global weights, and the virtual time of the
+	// publish. This is the training→serving wiring point: a serving store
+	// subscribes here instead of polling. The weights are only guaranteed
+	// valid during the call — retired globals recycle once their last
+	// in-flight reader completes — so a consumer that outlives the call must
+	// copy them (serve.Store.TakeBuffer + PublishAt is the wired pattern).
+	// Windows whose folds all carried zero weight publish nothing.
+	OnPublish func(version int, w nn.Weights, vtime float64)
 
 	builder Builder
 	rng     *frand.RNG
@@ -526,6 +536,9 @@ func (s *AsyncServer) finalizeWindow() {
 	if !s.Global.SharesStorage(old) {
 		s.Version++
 		s.store.Retire(old)
+		if s.OnPublish != nil {
+			s.OnPublish(s.Version, s.Global, s.clock.Now())
+		}
 	}
 	if ra, ok := s.acc.(ResettableAccumulator); ok {
 		ra.Reset(s.Global, s.Cfg)

@@ -88,6 +88,11 @@ func NewReplicaPool(n int, build func() *Network, intraOp int) *ReplicaPool {
 // Size returns the number of replicas owned by the pool.
 func (p *ReplicaPool) Size() int { return cap(p.ch) }
 
+// Free returns the number of replicas currently idle in the pool. A quiesced
+// server must report Free() == Size(); anything less means a borrower leaked
+// a replica (the serving error-path regression tests assert exactly this).
+func (p *ReplicaPool) Free() int { return len(p.ch) }
+
 // Get blocks until a replica is free and transfers it to the caller.
 func (p *ReplicaPool) Get() *Replica { return <-p.ch }
 

@@ -52,23 +52,30 @@ const (
 	evArrival  = iota // a request enters the micro-batcher
 	evDeadline        // a forming batch's latency budget expires
 	evDone            // a worker finishes a batch's virtual service time
+	evPublish         // a trained global version lands in the store (wired runs)
 )
 
 // simEvent is one scheduled occurrence, keyed by its simclock event ID.
 type simEvent struct {
 	kind int
-	req  int    // evArrival: request id
-	gen  int    // evDeadline: forming-batch generation at schedule time
-	b    *batch // evDone: the serviced batch
+	req  int        // evArrival: request id
+	gen  int        // evDeadline: forming-batch generation at schedule time
+	b    *batch     // evDone: the serviced batch
+	w    nn.Weights // evPublish: the trained weights to publish
 }
 
 // batch is one flushed micro-batch: request ids pinned to the model version
-// current at flush, plus the replica executing it.
+// current at flush, plus the replica executing it. dl is the batch's service
+// deadline — its oldest request's arrival plus the admission deadline — and
+// fseq the flush sequence number; together they key the EDF queue (fseq is
+// the deterministic tie-break and reproduces FIFO order when deadlines tie).
 type batch struct {
 	ids     []int
 	version int
 	w       nn.Weights
 	rep     *nn.Replica
+	dl      float64
+	fseq    int
 }
 
 // loadState is the single-goroutine virtual-time simulation behind RunLoad,
@@ -98,13 +105,17 @@ type loadState struct {
 	forming []int
 	formGen int
 
-	// Batch execution: a free stack of recycled batch structs, a FIFO queue
-	// of flushed batches waiting for a worker, and the busy-worker count.
+	// Batch execution: a free stack of recycled batch structs, the flushed
+	// batches waiting for a worker — a FIFO ring (queue/qhead) under
+	// FlushFIFO, a (deadline, fseq) min-heap (bheap) under FlushEDF — and
+	// the busy-worker count.
 	freeBatches []*batch
 	queue       []*batch
 	qhead       int
+	bheap       []*batch
 	busy        int
 	batchSeq    int
+	flushSeq    int
 	batchesDone int
 	sizeSum     int
 
@@ -124,6 +135,19 @@ type loadState struct {
 	staging []*tensor.Tensor
 
 	hist Histogram
+
+	// Wired train-while-serve bookkeeping. wired runs (BeginTrainLoad …
+	// FinishTrainLoad) receive trained versions through evPublish events and
+	// record, per served request, how many versions the store had accepted
+	// beyond the one that served it, measured at completion. curVersion
+	// mirrors the store's latest version so the hot loop never takes the
+	// store mutex; staleMin is -1 until the first served request.
+	wired      bool
+	curVersion int
+	staleMin   int
+	staleMax   int
+	staleSum   int64
+	staleHist  StalenessHist
 }
 
 // RunLoad executes one deterministic load run to completion and returns its
@@ -233,10 +257,17 @@ func (s *Server) beginLoad(lc LoadConfig) error {
 // schedule enqueues ev after delay; the monotonic seq doubles as the
 // deterministic tie-break at equal virtual instants.
 func (ld *loadState) schedule(delay float64, ev simEvent) {
+	ld.scheduleAt(ld.clock.Now()+delay, ev)
+}
+
+// scheduleAt enqueues ev at an absolute virtual instant (used by PublishAt,
+// whose timestamps come from the trainer's clock and must not pick up
+// float rounding from a now+delay round trip).
+func (ld *loadState) scheduleAt(at float64, ev simEvent) {
 	id := ld.seq
 	ld.seq++
 	ld.events[id] = ev
-	ld.clock.Schedule(ld.clock.Now()+delay, id)
+	ld.clock.Schedule(at, id)
 }
 
 // step pops and handles one event. It returns false once every request has
@@ -263,8 +294,20 @@ func (s *Server) step() bool {
 		}
 	case evDone:
 		ld.onDone(e.b)
+	case evPublish:
+		ld.applyPublish(e.w)
 	}
 	return ld.done < ld.lc.Requests && ld.err == nil
+}
+
+// applyPublish installs a trained global version: the forming batch (if any)
+// flushes first, pinned to the pre-publish version — exactly the ordering the
+// PublishEvery churn path uses — and then the store advances.
+func (ld *loadState) applyPublish(w nn.Weights) {
+	if len(ld.forming) > 0 {
+		ld.flush()
+	}
+	ld.curVersion = ld.srv.store.Publish(w)
 }
 
 // onArrival admits one request to the forming batch, flushing at MaxBatch
@@ -300,19 +343,103 @@ func (ld *loadState) onArrival(req int) {
 	}
 }
 
-// flush pins the forming batch to the current model version and hands it to
-// an idle worker, or queues it FIFO when all workers are busy.
+// flush pins the forming batch to the current model version and hands it
+// off. FlushFIFO gives it straight to an idle worker (or appends it to the
+// FIFO queue when all are busy); FlushEDF always routes through the deadline
+// heap and drains, so a flush that happens while older batches are queued —
+// the publish-churn path — cannot jump them.
 func (ld *loadState) flush() {
 	b := ld.getBatch()
 	b.ids = append(b.ids[:0], ld.forming...)
 	b.version, b.w = ld.srv.store.Acquire()
+	b.dl = ld.arrTime[b.ids[0]] + ld.srv.cfg.Admission.Deadline
+	b.fseq = ld.flushSeq
+	ld.flushSeq++
 	ld.forming = ld.forming[:0]
 	ld.formGen++
-	if ld.busy < ld.srv.cfg.Workers {
+	if ld.srv.cfg.Flush == FlushEDF {
+		ld.heapPush(b)
+		ld.drain()
+	} else if ld.busy < ld.srv.cfg.Workers {
 		ld.startService(b)
 	} else {
 		ld.queue = append(ld.queue, b)
 	}
+}
+
+// drain pulls queued batches onto free workers until either runs out,
+// honoring the configured flush policy. A fully-deadline-shed batch never
+// occupies a worker, so the loop keeps pulling past it; an execution error
+// stops the drain (startService has already rolled the failed batch back).
+func (ld *loadState) drain() {
+	for ld.err == nil && ld.busy < ld.srv.cfg.Workers {
+		var nb *batch
+		if ld.srv.cfg.Flush == FlushEDF {
+			if len(ld.bheap) == 0 {
+				return
+			}
+			nb = ld.heapPop()
+		} else {
+			if ld.qhead >= len(ld.queue) {
+				return
+			}
+			nb = ld.queue[ld.qhead]
+			ld.queue[ld.qhead] = nil
+			ld.qhead++
+			if ld.qhead == len(ld.queue) {
+				ld.queue = ld.queue[:0]
+				ld.qhead = 0
+			}
+		}
+		ld.startService(nb)
+	}
+}
+
+// heapPush / heapPop maintain the EDF queue: a binary min-heap of flushed
+// batches ordered by (deadline, flush sequence). Hand-rolled on the pooled
+// *batch slice so the steady-state path stays allocation-free.
+func (ld *loadState) heapPush(b *batch) {
+	ld.bheap = append(ld.bheap, b)
+	i := len(ld.bheap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !batchLess(ld.bheap[i], ld.bheap[parent]) {
+			break
+		}
+		ld.bheap[i], ld.bheap[parent] = ld.bheap[parent], ld.bheap[i]
+		i = parent
+	}
+}
+
+func (ld *loadState) heapPop() *batch {
+	n := len(ld.bheap)
+	root := ld.bheap[0]
+	ld.bheap[0] = ld.bheap[n-1]
+	ld.bheap[n-1] = nil
+	ld.bheap = ld.bheap[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && batchLess(ld.bheap[l], ld.bheap[smallest]) {
+			smallest = l
+		}
+		if r < n && batchLess(ld.bheap[r], ld.bheap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		ld.bheap[i], ld.bheap[smallest] = ld.bheap[smallest], ld.bheap[i]
+		i = smallest
+	}
+	return root
+}
+
+// batchLess is the EDF order: earlier deadline first, earlier flush on ties.
+func batchLess(a, b *batch) bool {
+	return a.dl < b.dl || (a.dl == b.dl && a.fseq < b.fseq)
 }
 
 // shed rejects one request without serving it: its output slot stays zero,
@@ -377,6 +504,16 @@ func (ld *loadState) startService(b *batch) {
 	rep := ld.srv.pool.Get()
 	b.rep = rep
 	if err := rep.Ensure(b.version, b.w); err != nil {
+		// Roll back everything the batch holds before surfacing the error:
+		// the worker slot, the borrowed replica, the version pin, and the
+		// batch struct itself. Without this the run leaked a replica and a
+		// pinned version per failed Ensure and kept reporting a busy worker.
+		ld.busy--
+		b.rep = nil
+		ld.srv.pool.Put(rep)
+		ld.srv.store.Release(b.version)
+		b.w = nn.Weights{}
+		ld.putBatch(b)
 		ld.err = err
 		return
 	}
@@ -401,6 +538,7 @@ func (ld *loadState) startService(b *batch) {
 func (ld *loadState) onDone(b *batch) {
 	now := ld.clock.Now()
 	ld.busy--
+	stale := ld.curVersion - b.version
 	for _, id := range b.ids {
 		d := now - ld.arrTime[id]
 		ld.lat[ld.served] = d
@@ -408,6 +546,9 @@ func (ld *loadState) onDone(b *batch) {
 		ld.hist.Add(d)
 		ld.done++
 		ld.feed(id)
+	}
+	if ld.wired && len(b.ids) > 0 {
+		ld.recordStaleness(stale, len(b.ids))
 	}
 	ld.srv.store.Release(b.version)
 	ld.srv.pool.Put(b.rep)
@@ -421,18 +562,23 @@ func (ld *loadState) onDone(b *batch) {
 		if len(ld.forming) > 0 {
 			ld.flush() // the forming batch belongs to the pre-publish version
 		}
-		ld.srv.store.Republish()
+		ld.curVersion = ld.srv.store.Republish()
 	}
-	for ld.busy < ld.srv.cfg.Workers && ld.qhead < len(ld.queue) {
-		nb := ld.queue[ld.qhead]
-		ld.queue[ld.qhead] = nil
-		ld.qhead++
-		if ld.qhead == len(ld.queue) {
-			ld.queue = ld.queue[:0]
-			ld.qhead = 0
-		}
-		ld.startService(nb)
+	ld.drain()
+}
+
+// recordStaleness folds one batch's served-version staleness (versions the
+// store accepted beyond the batch's pinned version, measured at completion)
+// into the wired-run summary, once per served request.
+func (ld *loadState) recordStaleness(stale, n int) {
+	if ld.staleMin < 0 || stale < ld.staleMin {
+		ld.staleMin = stale
 	}
+	if stale > ld.staleMax {
+		ld.staleMax = stale
+	}
+	ld.staleSum += int64(stale) * int64(n)
+	ld.staleHist.add(stale, int64(n))
 }
 
 // getBatch pops the batch free stack (growing it only when the preallocated
@@ -481,7 +627,124 @@ func (ld *loadState) report() Report {
 			r.OutputDigest = foldU64(r.OutputDigest, uint64(c))
 		}
 	}
+	if ld.wired {
+		// Wired runs carry the staleness summary; fold it into the digest so
+		// a run that served a different version mix cannot collide. Unwired
+		// reports are untouched — byte-identical to the pre-wiring harness.
+		r.StaleTracked = true
+		if ld.staleMin > 0 {
+			r.StaleMin = ld.staleMin
+		}
+		r.StaleMax = ld.staleMax
+		if ld.served > 0 {
+			r.StaleMean = float64(ld.staleSum) / float64(ld.served)
+		}
+		r.StaleHist = ld.staleHist
+		r.OutputDigest = foldU64(r.OutputDigest, uint64(r.StaleMin))
+		r.OutputDigest = foldU64(r.OutputDigest, uint64(r.StaleMax))
+		for _, c := range r.StaleHist {
+			r.OutputDigest = foldU64(r.OutputDigest, uint64(c))
+		}
+	}
 	return r
+}
+
+// BeginTrainLoad starts a wired train-while-serve run: the same deterministic
+// load simulation as RunLoad, but paused between trained-version publishes
+// instead of free-running. The caller interleaves training and serving on one
+// virtual clock by calling PublishAt at every training publish instant and
+// FinishTrainLoad once training ends:
+//
+//	err := srv.BeginTrainLoad(lc)
+//	… for each finalized global, at trainer virtual time t:
+//	buf := srv.Store().TakeBuffer(); copy the global into buf
+//	err = srv.PublishAt(t, buf)
+//	… after the last window:
+//	report, err := srv.FinishTrainLoad()
+//
+// Wired runs track served-version staleness (Report.StaleTracked); the
+// synthetic PublishEvery churn knob is rejected — version churn comes from
+// the trainer.
+func (s *Server) BeginTrainLoad(lc LoadConfig) error {
+	if lc.PublishEvery != 0 {
+		return fmt.Errorf("serve: PublishEvery is the unwired churn knob; wired runs publish from the trainer")
+	}
+	if err := s.beginLoad(lc); err != nil {
+		return err
+	}
+	s.ld.wired = true
+	s.ld.curVersion = s.store.Version()
+	s.ld.staleMin = -1
+	return nil
+}
+
+// PublishAt schedules trained weights w to land in the serving store at
+// virtual instant t and advances the serving simulation through every event
+// at or before t. Ordering is fixed and deterministic: serving events already
+// scheduled at exactly t fire before the publish (the publish event carries a
+// larger tie-break ID), the forming batch then flushes pinned to the
+// pre-publish version, and the store advances. t must not precede an instant
+// the serving clock has already passed. The store takes ownership of w —
+// publish a Store().TakeBuffer() copy, never a buffer the trainer will
+// recycle.
+func (s *Server) PublishAt(t float64, w nn.Weights) error {
+	ld := &s.ld
+	if !ld.wired {
+		return fmt.Errorf("serve: PublishAt outside a BeginTrainLoad run")
+	}
+	if ld.err != nil {
+		return ld.err
+	}
+	if t < ld.clock.Now() {
+		return fmt.Errorf("serve: publish at %g is in the serving past (now %g)", t, ld.clock.Now())
+	}
+	if ld.done >= ld.lc.Requests {
+		// The load has drained; nothing left to interleave with, but the
+		// version stream stays complete for anyone reading the store.
+		ld.applyPublish(w)
+		return nil
+	}
+	ld.scheduleAt(t, simEvent{kind: evPublish, w: w})
+	return s.advanceTo(t)
+}
+
+// advanceTo processes every pending event at or before t. Once the load has
+// drained mid-advance, remaining publishes still apply (the trainer keeps
+// publishing) while stale deadlines are discarded.
+func (s *Server) advanceTo(t float64) error {
+	ld := &s.ld
+	for ld.err == nil {
+		ev, ok := ld.clock.Peek()
+		if !ok || ev.At > t {
+			break
+		}
+		if ld.done < ld.lc.Requests {
+			s.step()
+			continue
+		}
+		ev, _ = ld.clock.Next()
+		e := ld.events[ev.ID]
+		delete(ld.events, ev.ID)
+		if e.kind == evPublish {
+			ld.applyPublish(e.w)
+		}
+	}
+	return ld.err
+}
+
+// FinishTrainLoad runs the wired load to completion (requests arriving after
+// the last publish are served by the final trained version) and returns the
+// report, with Report.StaleTracked staleness summary included.
+func (s *Server) FinishTrainLoad() (Report, error) {
+	if !s.ld.wired {
+		return Report{}, fmt.Errorf("serve: FinishTrainLoad outside a BeginTrainLoad run")
+	}
+	for s.step() {
+	}
+	if s.ld.err != nil {
+		return Report{}, s.ld.err
+	}
+	return s.ld.report(), nil
 }
 
 // foldU64 mixes eight little-endian bytes of v into an FNV-1a digest.

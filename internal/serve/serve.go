@@ -30,6 +30,49 @@ type Config struct {
 	// Admission is the overload policy. The zero value disables admission
 	// control entirely — bit-identical to the pre-admission harness.
 	Admission AdmissionConfig
+	// Flush selects the order queued batches reach a freed worker in.
+	// FlushFIFO (the zero value) starts batches strictly in flush order and
+	// is byte-identical to the pre-SLO harness; FlushEDF starts the
+	// earliest-deadline queued batch first (see FlushPolicy).
+	Flush FlushPolicy
+}
+
+// FlushPolicy orders the flushed-batch queue.
+type FlushPolicy int
+
+const (
+	// FlushFIFO starts queued batches in flush order. Under PublishEvery
+	// churn this can invert urgency: the publish-triggered flush inside a
+	// batch completion runs after the worker frees but before the queue
+	// drains, so the forming batch — the newest arrivals — jumps straight
+	// onto the worker while older queued batches keep aging toward the
+	// admission deadline.
+	FlushFIFO FlushPolicy = iota
+	// FlushEDF starts the queued batch with the earliest deadline first
+	// (a batch's deadline is its oldest request's arrival plus the
+	// admission deadline; with no deadline configured the order degenerates
+	// to oldest-arrival-first). Ties break on flush sequence, so the order
+	// — like everything else in the harness — is deterministic.
+	FlushEDF
+)
+
+// String renders the policy as its CLI spelling.
+func (p FlushPolicy) String() string {
+	if p == FlushEDF {
+		return "edf"
+	}
+	return "fifo"
+}
+
+// ParseFlush parses the CLI flush-policy spec: "fifo" (or "") and "edf".
+func ParseFlush(spec string) (FlushPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "fifo":
+		return FlushFIFO, nil
+	case "edf", "deadline":
+		return FlushEDF, nil
+	}
+	return FlushFIFO, fmt.Errorf("serve: unknown flush policy %q (want fifo or edf)", spec)
 }
 
 // AdmissionConfig bounds the serving pending queue so closed-loop overload
@@ -99,6 +142,9 @@ func (c Config) validate() error {
 	if c.Admission.Depth < 0 || c.Admission.Deadline < 0 ||
 		math.IsNaN(c.Admission.Deadline) {
 		return fmt.Errorf("serve: invalid admission config %+v", c.Admission)
+	}
+	if c.Flush != FlushFIFO && c.Flush != FlushEDF {
+		return fmt.Errorf("serve: unknown flush policy %d", c.Flush)
 	}
 	return nil
 }

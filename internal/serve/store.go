@@ -63,16 +63,22 @@ func (s *Store) Release(v int) {
 	s.vs.Release(v, s.current)
 }
 
-// Publish makes w the current version and returns its number. The previous
-// version stays resident until its last reader releases it, then recycles.
+// Publish makes w the current version and returns its number, taking
+// ownership of w. The previous version stays resident until its last reader
+// releases it, then recycles.
 func (s *Store) Publish(w nn.Weights) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	old, oldW := s.version, s.current
+	old := s.version
 	s.version++
 	s.current = w
 	s.vs.Retain(s.version, w)
-	s.vs.Release(old, oldW) // drop the store's own reference to the old version
+	// Drop the store's own reference to the old version. The live set passed
+	// here must be the NEW current: passing the outgoing weights would make
+	// Release think the old buffer still backs the live version and drop it
+	// on the floor instead of recycling it — every publish whose old version
+	// had no in-flight readers then leaked one model-sized buffer.
+	s.vs.Release(old, s.current)
 	return s.version
 }
 

@@ -52,6 +52,18 @@ func (c *Clock) Schedule(at float64, id int) {
 	}
 }
 
+// Peek returns the earliest pending event without popping it; the clock does
+// not advance. ok is false when nothing is pending. Owners that interleave
+// two event sources (e.g. a serving clock stepped up to each training
+// publish) use Peek to decide whether the next event belongs to this horizon
+// before committing to the pop.
+func (c *Clock) Peek() (ev Event, ok bool) {
+	if len(c.events) == 0 {
+		return Event{}, false
+	}
+	return c.events[0], true
+}
+
 // Next pops the earliest pending event (ties by ascending ID), advances Now
 // to its timestamp, and returns it. ok is false when nothing is pending; the
 // clock does not advance then.

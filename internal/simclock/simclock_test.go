@@ -78,6 +78,29 @@ func TestClockNextAdvancesNowAndEmptyNext(t *testing.T) {
 	}
 }
 
+func TestClockPeekDoesNotAdvance(t *testing.T) {
+	var c Clock
+	if _, ok := c.Peek(); ok {
+		t.Fatal("empty clock peeked an event")
+	}
+	c.Schedule(3, 1)
+	c.Schedule(1, 2)
+	ev, ok := c.Peek()
+	if !ok || ev.At != 1 || ev.ID != 2 {
+		t.Fatalf("Peek = %v, %v; want earliest event (1, id 2)", ev, ok)
+	}
+	if c.Now() != 0 || c.Len() != 2 {
+		t.Fatalf("Peek advanced the clock: now=%v len=%d", c.Now(), c.Len())
+	}
+	// Peek is idempotent and agrees with the subsequent Next.
+	if again, _ := c.Peek(); again != ev {
+		t.Fatalf("second Peek %v != first %v", again, ev)
+	}
+	if popped, _ := c.Next(); popped != ev {
+		t.Fatalf("Next %v != Peek %v", popped, ev)
+	}
+}
+
 func TestSchedulePastPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
