@@ -214,9 +214,10 @@
 //
 // # Kernel backends & numerics tiers
 //
-// The matmul layer under the frozen path is a two-backend dispatch
+// The matmul layer under the frozen path is a three-backend dispatch
 // (internal/tensor/backend.go). Every tensor entry point belongs to exactly
-// one of two numerics tiers:
+// one of two numerics tiers (with the int8 backend occupying a documented
+// looser corner of the tolerance tier):
 //
 //   - ORACLE tier — the unfused entry points (tensor.MatMul, MatMulSlices,
 //     MatMulP, the transpose variants, and everything the training stack
@@ -257,10 +258,41 @@
 // the pre-dispatch repo. The CI backend matrix runs the full suite under
 // both forced backends.
 //
-// The dispatch seam is deliberately the place a future int8 tier plugs in:
-// a quantized backend would pack B into int8 panels at Freeze time, run an
-// integer microkernel, and join the tolerance tier with its own (looser)
-// closeness contract — see the backend.go doc comment and ROADMAP.
+// # Int8 tier & weight-stationary panels
+//
+// BackendInt8 is the quantized rung of the tolerance tier, strictly opt-in:
+// the auto heuristic never selects it, so the default lanes (and every
+// byte-identical smoke contract) are untouched unless the user forces
+// -kernel-backend=int8. The weight operand of each frozen matmul is
+// quantized symmetrically per output channel to 8 bits (biased-unsigned
+// storage), the activation operand is quantized per row (dense) or per
+// tensor (im2col) at call time, and the SWAR microkernel accumulates exact
+// int32 dot products before a single float dequantize-and-epilogue per
+// output row. Because the integer accumulation is exact and the row
+// partitioning is the same as the float tiers, int8 outputs are bit-identical
+// across intra-op budgets and concurrent replicas — serving digests replay
+// exactly under int8, just with different bits than the float tiers. The
+// numeric promise is tensor.Int8Tol (5e-2 relative, unit-floored) against
+// the oracle with identical argmax; TestInt8MatchesOracle and the CI int8
+// matrix lane enforce it suite-wide.
+//
+// Weights are stationary: tensor.PackedWeights holds a weight version's
+// packed forms (float GEBP panels, int8 panels, per-channel scales), built
+// once per (version, matmul slot) and reused across every replica and batch
+// of that version. Ownership rules: nn's PanelCache keys sets by version and
+// refcounts them across the replica pool — a replica acquires the set for
+// the version it is folding BEFORE releasing its previous set
+// (publish→retire safety), the newest set survives zero references so a
+// landing version never repacks, and superseded sets recycle their slot
+// arrays through a pool. A PackedWeights never retains the source weight
+// slice; callers pass the live folded weights at each fused entry call, so
+// there is no aliasing between a replica's fold buffer and the shared
+// panels. tensor.WeightPackCount observes the pack counter: steady state
+// packs once per slot per version — never per replica, never per batch —
+// and the int8 inference path allocates nothing per batch once scratch
+// pools are warm. The same PackedWeights handle makes the packed float
+// backend weight-stationary on the frozen path (panels built at fold time
+// instead of per call).
 //
 // # Serving
 //

@@ -57,9 +57,10 @@ type Options struct {
 	// KernelBackend selects the matmul backend behind the frozen eval
 	// path's fused kernels (tensor.ParseBackend values: "auto" picks packed
 	// when profitable, "serial" forces the bit-identical oracle kernels,
-	// "packed" forces the cache-blocked kernel; "" inherits the process-wide
-	// selection). Training kernels never dispatch. Applied process-wide by
-	// Run.
+	// "packed" forces the cache-blocked kernel, "int8" forces the quantized
+	// weight-stationary kernel at its documented tolerance; "" inherits the
+	// process-wide selection). Training kernels never dispatch. Applied
+	// process-wide by Run.
 	KernelBackend string
 	// Faults is a faults.ParseSpec chaos spec ("crash:P", "flaky:P,R",
 	// "corrupt:P,MODE", "churn:PERIOD,ON", "+"-combined) injected into every

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"math"
 	"testing"
 
 	"heteroswitch/internal/frand"
@@ -212,6 +213,24 @@ func TestFrozenMatchesReferencePerArch(t *testing.T) {
 			x := tensor.Randn(r, 1, 5, 3, 32, 32)
 			want := net.Forward(x, false).Clone()
 			got := net.Freeze().Infer(x).Clone()
+			// Bit-exactness and the 1e-5 bound are float-tier promises; the
+			// opt-in int8 backend carries its documented looser tolerance
+			// (relative past unit magnitude) instead. Argmax must hold on
+			// every tier.
+			int8Tier := tensor.ActiveBackend() == tensor.BackendInt8
+			tol := 1e-5
+			if int8Tier {
+				var mag float64
+				for _, v := range want.Data() {
+					if a := math.Abs(float64(v)); a > mag {
+						mag = a
+					}
+				}
+				if mag < 1 {
+					mag = 1
+				}
+				tol = tensor.Int8Tol * mag
+			}
 			var maxd float64
 			for i, v := range got.Data() {
 				d := float64(v) - float64(want.Data()[i])
@@ -221,18 +240,41 @@ func TestFrozenMatchesReferencePerArch(t *testing.T) {
 				if d > maxd {
 					maxd = d
 				}
-				if tc.exact && v != want.Data()[i] {
+				if tc.exact && !int8Tier && v != want.Data()[i] {
 					t.Fatalf("BN-free arch must be bit-exact; element %d: %v != %v", i, v, want.Data()[i])
 				}
 			}
-			if maxd > 1e-5 {
-				t.Fatalf("frozen output diverges: max-abs %.3g > 1e-5", maxd)
+			if maxd > tol {
+				t.Fatalf("frozen output diverges: max-abs %.3g > %g", maxd, tol)
 			}
 			wantArg, gotArg := want.ArgMaxRows(), got.ArgMaxRows()
+			classes := want.Dim(1)
 			for i := range wantArg {
-				if gotArg[i] != wantArg[i] {
-					t.Fatalf("argmax differs at row %d: frozen %d, reference %d", i, gotArg[i], wantArg[i])
+				if gotArg[i] == wantArg[i] {
+					continue
 				}
+				if int8Tier {
+					// These lightly-trained fixtures can tie their top-2
+					// logits inside the int8 tolerance band, where no
+					// quantization can promise the tie-break; the argmax
+					// contract applies whenever the decision margin
+					// exceeds the band (same guard as the tensor-level
+					// int8 suite).
+					row := want.Data()[i*classes : (i+1)*classes]
+					top, second := -math.MaxFloat64, -math.MaxFloat64
+					for _, v := range row {
+						f := float64(v)
+						if f > top {
+							top, second = f, top
+						} else if f > second {
+							second = f
+						}
+					}
+					if top-second <= 2*tol {
+						continue
+					}
+				}
+				t.Fatalf("argmax differs at row %d: frozen %d, reference %d", i, gotArg[i], wantArg[i])
 			}
 		})
 	}
@@ -254,12 +296,25 @@ func TestFrozenECGConvNet(t *testing.T) {
 	x := tensor.Randn(r, 1, 3, 64)
 	want := net.Forward(x, false).Clone()
 	got := net.Freeze().Infer(x)
+	tol := 1e-5
+	if tensor.ActiveBackend() == tensor.BackendInt8 {
+		var mag float64
+		for _, v := range want.Data() {
+			if a := math.Abs(float64(v)); a > mag {
+				mag = a
+			}
+		}
+		if mag < 1 {
+			mag = 1
+		}
+		tol = tensor.Int8Tol * mag
+	}
 	for i, v := range got.Data() {
 		d := float64(v) - float64(want.Data()[i])
 		if d < 0 {
 			d = -d
 		}
-		if d > 1e-5 {
+		if d > tol {
 			t.Fatalf("frozen ECG output diverges at %d: %.3g", i, d)
 		}
 	}

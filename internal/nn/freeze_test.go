@@ -21,6 +21,24 @@ import (
 
 const frozenTol = 1e-5
 
+// frozenTolFor returns the max-abs bound the active kernel tier documents
+// for a frozen forward against the reference output: the float tiers hold
+// frozenTol; the opt-in int8 tier (forced via HETEROSWITCH_KERNEL_BACKEND)
+// holds tensor.Int8Tol relative to the reference's unit-floored magnitude.
+// Argmax must be identical under every tier — only the bound loosens.
+func frozenTolFor(want []float32) float64 {
+	if tensor.ActiveBackend() != tensor.BackendInt8 {
+		return frozenTol
+	}
+	m := 1.0
+	for _, v := range want {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return tensor.Int8Tol * m
+}
+
 // frozenFixture is one block-coverage case: a network builder plus its
 // input channel count.
 type frozenFixture struct {
@@ -226,8 +244,8 @@ func TestFrozenEquivalence(t *testing.T) {
 				want := net.Forward(x, false).Clone()
 				wantArg := want.ArgMaxRows()
 				got := net.Freeze().Infer(x).Clone()
-				if d := maxAbsDiff(got.Data(), want.Data()); d > frozenTol {
-					t.Fatalf("batch %d: frozen output diverges: max-abs %.3g > %g", batch, d, frozenTol)
+				if d, tol := maxAbsDiff(got.Data(), want.Data()), frozenTolFor(want.Data()); d > tol {
+					t.Fatalf("batch %d: frozen output diverges: max-abs %.3g > %g", batch, d, tol)
 				}
 				gotArg := got.ArgMaxRows()
 				for i := range wantArg {
@@ -253,8 +271,8 @@ func TestFrozenTracksWeightUpdates(t *testing.T) {
 	trainFixture(net, r, fx.inC, 3)
 	want := net.Forward(x, false).Clone()
 	got := net.Freeze().Infer(x).Clone()
-	if d := maxAbsDiff(got.Data(), want.Data()); d > frozenTol {
-		t.Fatalf("re-frozen output diverges from reference: max-abs %.3g", d)
+	if d, tol := maxAbsDiff(got.Data(), want.Data()), frozenTolFor(want.Data()); d > tol {
+		t.Fatalf("re-frozen output diverges from reference: max-abs %.3g > %g", d, tol)
 	}
 	if maxAbsDiff(first.Data(), got.Data()) == 0 {
 		t.Fatal("frozen view did not re-fold after weights changed")
@@ -419,6 +437,9 @@ func TestFrozenPureFusionBitIdentical(t *testing.T) {
 // steady-state heap allocation (arena outputs, pooled dispatch, cached
 // im2col scratch).
 func TestFrozenAllocFree(t *testing.T) {
+	if raceExtEnabled {
+		t.Skip("sync.Pool drops items randomly under -race; alloc counts are nondeterministic")
+	}
 	fx := frozenFixtures()[0]
 	r := frand.New(77)
 	net := fx.net(r)

@@ -150,6 +150,15 @@ type frozenConv struct {
 	wf []float32 // effective weights: alias l.W when bn == nil, else folded copy
 	bf []float32 // effective biases: alias l.B when bn == nil, else folded copy
 
+	// slot is the op's packed-weight slot in the program's panel sets (-1
+	// for depthwise convs, which never matmul). pw is the active handle —
+	// the shared set's slot when freezing through a panel cache, the
+	// private own otherwise — holding all groups' rows as one [OutC, fanIn]
+	// weights-as-A matrix; group gi dispatches rows [gi·gcOut, (gi+1)·gcOut).
+	slot int
+	pw   *tensor.PackedWeights
+	own  tensor.PackedWeights
+
 	eps      []convEpilogue // one per group (stateless, shared by chunks)
 	dims     tensor.ConvDims
 	inH, inW int
@@ -178,22 +187,33 @@ func (c *frozenConv) build() {
 }
 
 // refold implements refolder: W′ = W·scale, b′ = b·scale + shift per output
-// channel, with scale/shift from the BN running statistics.
-func (c *frozenConv) refold() {
-	if c.bn == nil {
-		return
-	}
+// channel, with scale/shift from the BN running statistics, then rebinds the
+// packed-weight handle to the folded rows (the weights may have changed
+// since the last Freeze even without BN, so the private handle refreshes
+// every refold; a shared set packs each slot once per version).
+func (c *frozenConv) refold(ps *panelSet) {
 	l := c.l
 	fanIn := (l.InC / l.Groups) * l.KH * l.KW
-	wd, bd := l.W.W.Data(), l.B.W.Data()
-	for oc := 0; oc < l.OutC; oc++ {
-		s, sh := bnScaleShift(c.bn, oc)
-		row := wd[oc*fanIn : (oc+1)*fanIn]
-		frow := c.wf[oc*fanIn : (oc+1)*fanIn]
-		for j, v := range row {
-			frow[j] = v * s
+	if c.bn != nil {
+		wd, bd := l.W.W.Data(), l.B.W.Data()
+		for oc := 0; oc < l.OutC; oc++ {
+			s, sh := bnScaleShift(c.bn, oc)
+			row := wd[oc*fanIn : (oc+1)*fanIn]
+			frow := c.wf[oc*fanIn : (oc+1)*fanIn]
+			for j, v := range row {
+				frow[j] = v * s
+			}
+			c.bf[oc] = bd[oc]*s + sh
 		}
-		c.bf[oc] = bd[oc]*s + sh
+	}
+	if c.slot < 0 {
+		return // depthwise: direct tap loop, no matmul to feed
+	}
+	if ps != nil {
+		c.pw = ps.ensureA(c.slot, c.wf, l.OutC, fanIn)
+	} else {
+		c.own.RefreshA(c.wf, l.OutC, fanIn)
+		c.pw = &c.own
 	}
 }
 
@@ -287,10 +307,10 @@ func (c *frozenConv) inferIter(it, par int, col []float32) {
 		applyBiasAct(y, c.bf[gi], c.act)
 	case l.KH == 1 && l.KW == 1 && l.Stride == 1 && l.Pad == 0:
 		// Pointwise: the im2col matrix IS the image slice.
-		tensor.MatMulSlicesPEp(par, y, wg, img, gcOut, fanIn, cols, &c.eps[gi])
+		tensor.MatMulWASlicesPEp(par, y, wg, c.pw, gi*gcOut, gcOut, img, cols, false, &c.eps[gi])
 	default:
 		tensor.Im2Col(col, img, d)
-		tensor.MatMulSlicesPEp(par, y, wg, col, gcOut, fanIn, cols, &c.eps[gi])
+		tensor.MatMulWASlicesPEp(par, y, wg, c.pw, gi*gcOut, gcOut, col, cols, false, &c.eps[gi])
 	}
 }
 
@@ -316,6 +336,12 @@ type frozenDense struct {
 	wf *tensor.Tensor // effective weights: alias l.W when bn == nil
 	bf []float32
 	ep denseEpilogue
+
+	// slot/pw/own: the packed-weight slot and active weights-as-B handle,
+	// same ownership scheme as frozenConv.
+	slot int
+	pw   *tensor.PackedWeights
+	own  tensor.PackedWeights
 }
 
 // build sizes the folded buffers and the epilogue.
@@ -330,20 +356,26 @@ func (d *frozenDense) build() {
 	d.ep = denseEpilogue{bias: d.bf, act: d.act}
 }
 
-// refold implements refolder: column j is scaled by the BN channel j affine.
-func (d *frozenDense) refold() {
-	if d.bn == nil {
-		return
-	}
-	in, out := d.l.In, d.l.Out
-	wd, fd := d.l.W.W.Data(), d.wf.Data()
-	bd := d.l.B.W.Data()
-	for j := 0; j < out; j++ {
-		s, sh := bnScaleShift(d.bn, j)
-		for i := 0; i < in; i++ {
-			fd[i*out+j] = wd[i*out+j] * s
+// refold implements refolder: column j is scaled by the BN channel j affine,
+// then the weights-as-B handle rebinds to the folded matrix.
+func (d *frozenDense) refold(ps *panelSet) {
+	if d.bn != nil {
+		in, out := d.l.In, d.l.Out
+		wd, fd := d.l.W.W.Data(), d.wf.Data()
+		bd := d.l.B.W.Data()
+		for j := 0; j < out; j++ {
+			s, sh := bnScaleShift(d.bn, j)
+			for i := 0; i < in; i++ {
+				fd[i*out+j] = wd[i*out+j] * s
+			}
+			d.bf[j] = bd[j]*s + sh
 		}
-		d.bf[j] = bd[j]*s + sh
+	}
+	if ps != nil {
+		d.pw = ps.ensureB(d.slot, d.wf.Data(), d.l.In, d.l.Out)
+	} else {
+		d.own.RefreshB(d.wf.Data(), d.l.In, d.l.Out)
+		d.pw = &d.own
 	}
 }
 
@@ -353,7 +385,7 @@ func (d *frozenDense) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: frozen Dense input %v, want [N %d]", x.Shape(), d.l.In))
 	}
 	y := f.alloc(x.Dim(0), d.l.Out)
-	tensor.MatMulIntoPEp(f.budget(), y, x, d.wf, &d.ep)
+	tensor.MatMulWBSlicesPEp(f.budget(), y.Data(), x.Data(), d.wf.Data(), d.pw, x.Dim(0), false, &d.ep)
 	return y
 }
 
@@ -373,8 +405,8 @@ type frozenBN struct {
 	n, hw  int
 }
 
-// refold implements refolder.
-func (b *frozenBN) refold() {
+// refold implements refolder (no matmul, so ps is unused).
+func (b *frozenBN) refold(_ *panelSet) {
 	for c := 0; c < b.l.C; c++ {
 		b.scale[c], b.shift[c] = bnScaleShift(b.l, c)
 	}
@@ -661,7 +693,7 @@ func (r *frozenResidual) foldSample(i, par int) {
 	l := fc.l
 	xi := r.xd[i*l.InC*r.hw : (i+1)*l.InC*r.hw]
 	yi := r.yd[i*l.OutC*r.hw : (i+1)*l.OutC*r.hw]
-	tensor.MatMulAccSlicesPEp(par, yi, fc.wf, xi, l.OutC, l.InC, r.hw, &fc.eps[0])
+	tensor.MatMulWASlicesPEp(par, yi, fc.wf, fc.pw, 0, l.OutC, xi, r.hw, true, &fc.eps[0])
 }
 
 // Run implements parallel.Runner over a sample range of the folded skip.
@@ -672,9 +704,9 @@ func (r *frozenResidual) Run(_, lo, hi int) {
 }
 
 // refold implements refolder, recursing into both branches.
-func (r *frozenResidual) refold() {
-	refoldOps(r.body)
-	refoldOps(r.proj)
+func (r *frozenResidual) refold(ps *panelSet) {
+	refoldOps(r.body, ps)
+	refoldOps(r.proj, ps)
 }
 
 // frozenParallel runs the frozen branches and concatenates along channels,
@@ -718,9 +750,9 @@ func (p *frozenParallel) infer(f *Frozen, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // refold implements refolder, recursing into every branch.
-func (p *frozenParallel) refold() {
+func (p *frozenParallel) refold(ps *panelSet) {
 	for _, ops := range p.branches {
-		refoldOps(ops)
+		refoldOps(ops, ps)
 	}
 }
 
@@ -750,11 +782,12 @@ type frozenSE struct {
 }
 
 // newFrozenSE compiles an SEBlock, fusing the excitation MLP's ReLU and
-// HardSigmoid into the dense kernels.
-func newFrozenSE(l *SEBlock) *frozenSE {
-	fc1 := &frozenDense{l: l.fc1, act: epReLU}
+// HardSigmoid into the dense kernels; both excitation matmuls claim
+// packed-weight slots like any dense.
+func newFrozenSE(l *SEBlock, c *opCompiler) *frozenSE {
+	fc1 := &frozenDense{l: l.fc1, act: epReLU, slot: c.nextSlot()}
 	fc1.build()
-	fc2 := &frozenDense{l: l.fc2, act: epHardSigmoid}
+	fc2 := &frozenDense{l: l.fc2, act: epHardSigmoid, slot: c.nextSlot()}
 	fc2.build()
 	return &frozenSE{se: l, fc1: fc1, fc2: fc2}
 }
@@ -791,9 +824,9 @@ func (s *frozenSE) Run(_, lo, hi int) {
 }
 
 // refold implements refolder for the excitation layers.
-func (s *frozenSE) refold() {
-	s.fc1.refold()
-	s.fc2.refold()
+func (s *frozenSE) refold(ps *panelSet) {
+	s.fc1.refold(ps)
+	s.fc2.refold(ps)
 }
 
 // frozenWrap delegates to a layer's own eval forward — pure view or

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"sync"
+
+	"heteroswitch/internal/tensor"
+)
+
+// Version-keyed panel sharing ---------------------------------------------------
+//
+// A panelSet holds one weight version's packed/quantized forms — one
+// tensor.PackedWeights slot per fused matmul in the compiled frozen program.
+// Serving replicas all load bit-identical folded weights for a given version
+// (LoadWeights from the same immutable snapshot plus deterministic folding),
+// so the packed forms are a pure function of the version and can be built
+// once and shared: the first replica to freeze onto a version packs each
+// slot under the set's lock, every later replica finds the slot packed and
+// pays a pointer read.
+//
+// Lifetime is reference-counted, not GC'd: a replica holds one reference on
+// the set it currently serves from and releases it only AFTER it has frozen
+// onto the next version's set, so a publish→retire sequence can never free
+// panels a replica is still reading mid-batch. A set whose references drop
+// to zero while a newer version exists is recycled — packed flags cleared,
+// slot capacity kept — bounding the cache at (replicas + 1) resident sets
+// with zero steady-state allocation.
+
+// panelSet is one weight version's shared packed-weight slots.
+type panelSet struct {
+	version int
+	refs    int // guarded by the owning PanelCache's mu
+
+	mu     sync.Mutex // serializes first-pack of each slot
+	packed []bool
+	slots  []tensor.PackedWeights
+}
+
+// grow sizes the set for nslots, keeping slot capacity across recycles.
+func (ps *panelSet) grow(nslots int) {
+	if cap(ps.packed) < nslots {
+		ps.packed = make([]bool, nslots)
+		ps.slots = make([]tensor.PackedWeights, nslots)
+	}
+	ps.packed = ps.packed[:nslots]
+	ps.slots = ps.slots[:nslots]
+}
+
+// ensureB returns the slot's weights-as-B handle, packing it from w[k,n] if
+// this caller is the first to fold the version.
+func (ps *panelSet) ensureB(slot int, w []float32, k, n int) *tensor.PackedWeights {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.packed[slot] {
+		ps.slots[slot].RefreshB(w, k, n)
+		ps.packed[slot] = true
+	}
+	return &ps.slots[slot]
+}
+
+// ensureA returns the slot's weights-as-A handle, packing it from w[m,k] if
+// this caller is the first to fold the version.
+func (ps *panelSet) ensureA(slot int, w []float32, m, k int) *tensor.PackedWeights {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.packed[slot] {
+		ps.slots[slot].RefreshA(w, m, k)
+		ps.packed[slot] = true
+	}
+	return &ps.slots[slot]
+}
+
+// PanelCache shares packed weight panels across the replicas of one served
+// model, keyed by weight version. Safe for concurrent use.
+type PanelCache struct {
+	mu     sync.Mutex
+	sets   map[int]*panelSet
+	pool   []*panelSet // recycled sets, capacity retained
+	newest int
+
+	resident int // live (referenced or newest) sets
+	recycled int // cumulative sets recycled — the leak-accounting counter
+}
+
+// NewPanelCache returns an empty cache.
+func NewPanelCache() *PanelCache {
+	return &PanelCache{sets: make(map[int]*panelSet), newest: -1}
+}
+
+// Acquire takes a reference on version's panel set (creating or recycling
+// one sized for nslots on first acquire). Callers must Release exactly once.
+func (pc *PanelCache) Acquire(version, nslots int) *panelSet {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if ps, ok := pc.sets[version]; ok {
+		ps.refs++
+		return ps
+	}
+	var ps *panelSet
+	if n := len(pc.pool); n > 0 {
+		ps = pc.pool[n-1]
+		pc.pool = pc.pool[:n-1]
+	} else {
+		ps = new(panelSet)
+	}
+	ps.version, ps.refs = version, 1
+	ps.grow(nslots)
+	pc.sets[version] = ps
+	pc.resident++
+	if version > pc.newest {
+		pc.newest = version
+	}
+	return ps
+}
+
+// Release drops one reference. An unreferenced set of a superseded version
+// is recycled (packed flags cleared, capacity kept); the newest version's
+// set stays resident even at zero references so a replica arriving late to
+// the current version still finds its panels packed.
+func (pc *PanelCache) Release(ps *panelSet) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	ps.refs--
+	if ps.refs > 0 || ps.version >= pc.newest {
+		return
+	}
+	delete(pc.sets, ps.version)
+	clear(ps.packed)
+	pc.pool = append(pc.pool, ps)
+	pc.resident--
+	pc.recycled++
+}
+
+// Resident returns the number of live panel sets — bounded by one per
+// replica plus the newest version.
+func (pc *PanelCache) Resident() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.resident
+}
+
+// Recycled returns the cumulative number of recycled sets; together with
+// Resident it proves every superseded version's panels were reclaimed.
+func (pc *PanelCache) Recycled() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.recycled
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package nn_test
+
+// raceExtEnabled reports a -race build (see race_ext_on_test.go).
+const raceExtEnabled = false

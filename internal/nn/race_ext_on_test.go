@@ -1,0 +1,8 @@
+//go:build race
+
+package nn_test
+
+// raceExtEnabled reports a -race build for the external test package:
+// sync.Pool intentionally drops items at random under the race detector,
+// so steady-state allocation counts are nondeterministic.
+const raceExtEnabled = true

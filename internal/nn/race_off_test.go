@@ -1,0 +1,6 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports a -race build (see race_on_test.go).
+const raceEnabled = false

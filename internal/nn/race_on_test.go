@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports a -race build: sync.Pool intentionally drops items at
+// random under the race detector, so AllocsPerRun assertions on pooled hot
+// paths are nondeterministic and must be skipped.
+const raceEnabled = true

@@ -17,6 +17,11 @@ type Replica struct {
 	inf Inference
 	// version is the last Ensure'd model version; -1 before the first load.
 	version int
+	// panels, when non-nil, is the packed-weight panel cache shared by every
+	// replica of one pool: Ensure points the network's next Freeze at it so
+	// weight packing/quantization runs once per VERSION instead of once per
+	// replica per version.
+	panels *PanelCache
 }
 
 // NewReplica builds a replica from the model builder, granting it intraOp
@@ -48,6 +53,12 @@ func (r *Replica) Ensure(v int, w Weights) error {
 	if err := r.net.LoadWeights(w); err != nil {
 		return err
 	}
+	if r.panels != nil {
+		// Bind the next Freeze to the shared panel set of version v; the
+		// reference on the previous version's set drops inside Freeze only
+		// after the new set is live.
+		r.net.SetPanelSource(r.panels, v)
+	}
 	// One EvalView per version load: Freeze re-folds BN to the new weights
 	// here, not per batch.
 	r.inf = EvalView(r.net)
@@ -76,11 +87,17 @@ type ReplicaPool struct {
 }
 
 // NewReplicaPool builds n replicas from the builder, each granted intraOp
-// cores (0 keeps the builder's setting).
+// cores (0 keeps the builder's setting). The replicas share one packed-weight
+// panel cache: a version's folded weights are identical on every replica, so
+// the first replica to Ensure a version packs its panels and the rest reuse
+// them.
 func NewReplicaPool(n int, build func() *Network, intraOp int) *ReplicaPool {
 	p := &ReplicaPool{ch: make(chan *Replica, n)}
+	pc := NewPanelCache()
 	for i := 0; i < n; i++ {
-		p.ch <- NewReplica(build, intraOp)
+		r := NewReplica(build, intraOp)
+		r.panels = pc
+		p.ch <- r
 	}
 	return p
 }

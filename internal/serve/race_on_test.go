@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports a -race build: sync.Pool intentionally drops items at
+// random under the race detector, so steady-state allocation counts are
+// nondeterministic.
+const raceEnabled = true

@@ -26,10 +26,14 @@ import (
 //     BackendSerial forces the oracle kernels and is bit-identical to the
 //     pre-dispatch behavior.
 //
-// A future int8-quantized tier slots into the same seam: a new Backend
-// value selected here, with per-op weight re-quantization hooked into
-// nn.Freeze's refold pass (the dispatch sees only shapes and the active
-// Backend, so a quantized kernel only needs its own packed-weight cache).
+// The int8-quantized tier sits one step further out on the same seam: the
+// frozen path's fused matmuls carry a PackedWeights handle (weights.go)
+// whose int8 panels and per-output-channel scales are quantized once per
+// weight version at nn.Freeze time, and BackendInt8 routes the
+// weight-stationary entry points below onto the integer microkernel
+// (int8.go). Its tolerance is LOOSER than the 1e-5 float tier (see the
+// documented bound in int8.go), so BackendAuto never selects it — int8 is
+// strictly opt-in via SetBackend/-kernel-backend/the environment variable.
 
 // Backend selects the kernel implementation behind the tolerance-tier
 // (epilogue-fused) matmul entry points.
@@ -46,6 +50,15 @@ const (
 	// BackendPacked forces the packed kernel for every eligible shape
 	// (k ≥ 1); used by the CI backend matrix lane and A/B benchmarks.
 	BackendPacked
+	// BackendInt8 runs the weight-stationary fused matmuls (the frozen
+	// path's conv/dense kernels, which carry a PackedWeights handle) on the
+	// int8-quantized integer microkernel: weights quantized per output
+	// channel once per version, activations per call, int32 accumulation,
+	// float32 dequantizing epilogue. Tolerance-tier calls WITHOUT a weight
+	// handle (raw-slice fused entries) fall back to the packed float
+	// kernel. Never chosen by auto — the quantization error leaves the
+	// float tier's 1e-5 bound, so int8 must be forced explicitly.
+	BackendInt8
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +70,8 @@ func (b Backend) String() string {
 		return "serial"
 	case BackendPacked:
 		return "packed"
+	case BackendInt8:
+		return "int8"
 	}
 	return fmt.Sprintf("Backend(%d)", uint8(b))
 }
@@ -70,8 +85,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendSerial, nil
 	case "packed":
 		return BackendPacked, nil
+	case "int8":
+		return BackendInt8, nil
 	}
-	return BackendAuto, fmt.Errorf("tensor: unknown kernel backend %q (want auto, serial, or packed)", s)
+	return BackendAuto, fmt.Errorf("tensor: unknown kernel backend %q (want auto, serial, packed, or int8)", s)
 }
 
 // activeBackend is the process-wide selection; the zero value is
@@ -87,14 +104,33 @@ func SetBackend(b Backend) { activeBackend.Store(uint32(b)) }
 // ActiveBackend returns the current process-wide backend selection.
 func ActiveBackend() Backend { return Backend(activeBackend.Load()) }
 
+// initBackendFromEnv applies an environment-variable backend selection and
+// returns the error for an unparseable value WITHOUT changing the active
+// backend — the init hook below turns that error into a hard process exit.
+// Split out (with the lookup injected) so tests can pin the reject path
+// without forking a subprocess.
+func initBackendFromEnv(value string) error {
+	if value == "" {
+		return nil
+	}
+	b, err := ParseBackend(value)
+	if err != nil {
+		return fmt.Errorf("HETEROSWITCH_KERNEL_BACKEND: %v", err)
+	}
+	SetBackend(b)
+	return nil
+}
+
 // init honors the HETEROSWITCH_KERNEL_BACKEND environment variable so test
 // lanes (the CI backend matrix) can force a backend across whole packages
-// without threading flags through every harness.
+// without threading flags through every harness. An unknown value is a
+// configuration error, not a preference: silently falling back to auto would
+// make a CI lane test the wrong backend while reporting green, so the
+// process fails loudly at startup instead.
 func init() {
-	if v := os.Getenv("HETEROSWITCH_KERNEL_BACKEND"); v != "" {
-		if b, err := ParseBackend(v); err == nil {
-			SetBackend(b)
-		}
+	if err := initBackendFromEnv(os.Getenv("HETEROSWITCH_KERNEL_BACKEND")); err != nil {
+		fmt.Fprintln(os.Stderr, "tensor:", err)
+		os.Exit(2)
 	}
 }
 
@@ -112,13 +148,17 @@ const (
 // usePacked reports whether a tolerance-tier matmul of the given shape
 // dispatches to the packed kernel under the active backend. k == 0 always
 // stays on the oracle path (the packed driver's first k-block doubles as
-// the output initialization, so it needs at least one block).
+// the output initialization, so it needs at least one block). BackendInt8
+// behaves like BackendPacked here: a raw-slice fused matmul has no
+// per-channel weight scales to quantize against, so the closest honest
+// kernel is the packed float one (the weight-stationary entry points
+// dispatch to the true int8 kernel before ever reaching this check).
 func usePacked(m, k, n int) bool {
 	if k <= 0 || m <= 0 || n <= 0 {
 		return false
 	}
 	switch ActiveBackend() {
-	case BackendPacked:
+	case BackendPacked, BackendInt8:
 		return true
 	case BackendSerial:
 		return false

@@ -9,15 +9,20 @@ import (
 // Packed cache-blocked GEBP matmul — the tolerance-tier backend behind the
 // epilogue-fused entry points (see backend.go for the tier contract).
 //
-// Shape of the computation: out[m,n] (+)= a[m,k] @ b[k,n], with b first
-// packed into contiguous packNR-wide column panels (panel-major, zero-padded
-// to the panel width) so the microkernel streams B with unit stride instead
-// of the row-major stride-n walk the oracle kernels pay. The driver then
-// blocks k into packKC slabs (one panel slab is packKC·packNR floats — L1
-// resident while every row block of the chunk re-reads it) and runs a
-// widened register microkernel: packMR output rows × packNR output columns
-// accumulate in registers across a whole k-block, so each B load feeds
-// packMR fused multiply-adds instead of one.
+// Shape of the computation: out[m,n] (+)= a[m,k] @ b[k,n], with b packed
+// into contiguous packNR-wide column panels (panel-major, zero-padded to the
+// panel width) so the microkernel streams B with unit stride instead of the
+// row-major stride-n walk the oracle kernels pay. Where the panels come from
+// depends on the caller: the raw-slice fused entries pack b per call into a
+// pooled buffer (b is typically an activation matrix that changes every
+// batch), while the weight-stationary entries (weights.go) reuse panels a
+// PackedWeights handle packed ONCE per weight version — the frozen dense
+// path pays no per-batch packing at all. The driver blocks k into packKC
+// slabs (one panel slab is packKC·packNR floats — L1 resident while every
+// row block of the chunk re-reads it) and runs a widened register
+// microkernel: packMR output rows × packNR output columns accumulate in
+// registers across a whole k-block, so each B load feeds packMR fused
+// multiply-adds instead of one.
 //
 // Numerics: within one (row, column) target the partial products still fold
 // in ascending-k order, but k-blocking writes each packKC-slab's register
@@ -212,18 +217,26 @@ func (t *packTask) Run(_, lo, hi int) {
 	}
 }
 
-// matMulPackedEp is the packed backend's entry: out[m,n] (+)= a[m,k] @
-// b[k,n] with ep fused per completed row chunk. The caller has already
-// decided dispatch via usePacked; k ≥ 1 is required (the first k-block
-// initializes the output).
+// runPackedPanels executes the GEBP driver against an ALREADY-PACKED
+// panel-major B — either a pooled per-call buffer or a PackedWeights
+// handle's version-stationary panels.
+func runPackedPanels(par int, out, a, panels []float32, m, k, n int, accum bool, ep RowEpilogue) {
+	t := packTaskPool.Get().(*packTask)
+	*t = packTask{out: out, a: a, buf: panels, k: k, n: n, accum: accum, ep: ep}
+	parallel.Run(par, m, mmGrain(k, n), t)
+	*t = packTask{} // drop slice references before pooling
+	packTaskPool.Put(t)
+}
+
+// matMulPackedEp is the packed backend's per-call entry: out[m,n] (+)=
+// a[m,k] @ b[k,n] with ep fused per completed row chunk, b packed into a
+// pooled buffer for the duration of the call. The caller has already decided
+// dispatch via usePacked; k ≥ 1 is required (the first k-block initializes
+// the output).
 func matMulPackedEp(par int, out, a, b []float32, m, k, n int, accum bool, ep RowEpilogue) {
 	np := (n + packNR - 1) / packNR
 	pb := getPackBuf(np * k * packNR)
 	packB(pb.data, b, k, n)
-	t := packTaskPool.Get().(*packTask)
-	*t = packTask{out: out, a: a, buf: pb.data, k: k, n: n, accum: accum, ep: ep}
-	parallel.Run(par, m, mmGrain(k, n), t)
-	*t = packTask{} // drop slice references before pooling
-	packTaskPool.Put(t)
+	runPackedPanels(par, out, a, pb.data, m, k, n, accum, ep)
 	putPackBuf(pb)
 }

@@ -238,6 +238,9 @@ func TestAutoDispatch(t *testing.T) {
 // TestPackedZeroAllocSteadyState: a warm packed dispatch recycles its pack
 // buffer and task through pools — 0 allocs/op, serial and parallel.
 func TestPackedZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items randomly under -race; alloc counts are nondeterministic")
+	}
 	forceBackend(t, BackendPacked)
 	r := frand.New(95)
 	a := Randn(r, 1, 48, 48)
